@@ -1,0 +1,93 @@
+// Analytical wire-timing accuracy ladder — the paper's introductory premise:
+// closed-form metrics are fast but inaccurate on complex (especially
+// non-tree) nets, and increasing model complexity (Elmore -> D2M -> two-pole
+// AWE) buys accuracy at rising cost without reaching sign-off quality. The
+// learned estimator (Tables III/IV) then beats the whole ladder at
+// AWE-class runtime.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "rcnet/generate.hpp"
+#include "sim/awe.hpp"
+#include "sim/moments.hpp"
+#include "sim/transient.hpp"
+#include "support.hpp"
+
+using namespace gnntrans;
+
+int main() {
+  std::printf("=== Analytical metric ladder vs golden (intro premise) ===\n\n");
+
+  std::mt19937_64 rng(2023);
+  rcnet::NetGenConfig gen;
+  gen.coupling_prob = 0.0;  // isolate the metric error from SI noise
+  gen.non_tree_fraction = 0.5;
+
+  sim::TransientConfig tc;
+  tc.si.enabled = false;
+  tc.steps = 1500;
+
+  struct Bucket {
+    std::vector<double> golden, elmore, d2m, awe;
+  };
+  Bucket tree, non_tree;
+  double metric_seconds = 0.0, golden_seconds = 0.0;
+
+  const int kNets = 250;
+  for (int i = 0; i < kNets; ++i) {
+    const rcnet::RcNet net = rcnet::generate_net(gen, rng, "n");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::Moments moments = sim::compute_moments(net);
+    const std::vector<double> d2m = sim::d2m_from_moments(moments);
+    const auto awe = sim::awe_two_pole(moments);
+    const auto t1 = std::chrono::steady_clock::now();
+    // Near-step strong drive: golden measures the intrinsic wire response the
+    // analytical metrics model.
+    const auto golden = sim::simulate(net, tc, 1e-12, 1.0);
+    const auto t2 = std::chrono::steady_clock::now();
+    metric_seconds += std::chrono::duration<double>(t1 - t0).count();
+    golden_seconds += std::chrono::duration<double>(t2 - t1).count();
+
+    Bucket& bucket = net.is_tree() ? tree : non_tree;
+    for (const sim::SinkTiming& st : golden.sinks) {
+      if (!st.settled) continue;
+      bucket.golden.push_back(st.delay);
+      bucket.elmore.push_back(moments.m1[st.sink]);
+      bucket.d2m.push_back(d2m[st.sink]);
+      bucket.awe.push_back(awe[st.sink].delay);
+    }
+  }
+
+  auto report = [](const char* label, const Bucket& bucket) {
+    auto stats = [&](const std::vector<double>& pred) {
+      const double r2 = core::r2_score(pred, bucket.golden);
+      const double max_ps = core::max_abs_error(pred, bucket.golden) * 1e12;
+      std::printf("  %10.4f R^2   %8.2f ps max err\n", r2, max_ps);
+    };
+    std::printf("%s (%zu paths):\n", label, bucket.golden.size());
+    std::printf("  Elmore:");
+    stats(bucket.elmore);
+    std::printf("  D2M:   ");
+    stats(bucket.d2m);
+    std::printf("  AWE-2p:");
+    stats(bucket.awe);
+  };
+  report("Tree nets", tree);
+  report("Non-tree nets", non_tree);
+
+  std::printf("\nruntime over %d nets: analytical %0.3f s vs golden transient %0.3f s "
+              "(%.0fx)\n",
+              kNets, metric_seconds, golden_seconds,
+              golden_seconds / metric_seconds);
+  std::printf(
+      "\nExpected shape: every rung improves accuracy (Elmore overestimates, "
+      "D2M undershoots,\nAWE tracks closest) but even AWE keeps a multi-ps "
+      "tail — the gap the learned estimator closes\n(Tables III/IV) at "
+      "comparable inference cost (bench_micro).\n");
+  return 0;
+}

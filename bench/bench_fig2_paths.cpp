@@ -1,0 +1,105 @@
+// Reproduces Fig. 1 and Fig. 2 of the paper:
+//  - Fig. 1: path counts on a small example netlist vs a small example wire.
+//  - Fig. 2(a): #paths vs #gates on netlists (exponential growth).
+//  - Fig. 2(b): #paths vs #caps on wires (stays tiny; histogram of counts).
+#include <cstdio>
+#include <random>
+
+#include "cell/library.hpp"
+#include "netlist/generate.hpp"
+#include "netlist/sta.hpp"
+#include "rcnet/generate.hpp"
+#include "rcnet/stats.hpp"
+#include "support.hpp"
+
+using namespace gnntrans;
+
+namespace {
+
+void fig1_example() {
+  std::printf("== Fig. 1: paths on a netlist vs paths on a wire ==\n");
+  // A small layered netlist (11 gates) akin to Fig. 1(a).
+  const auto lib = cell::CellLibrary::make_default();
+  netlist::DesignGenConfig cfg;
+  cfg.startpoints = 2;
+  cfg.levels = 3;
+  cfg.cells_per_level = 3;
+  cfg.seed = 71;
+  const netlist::Design d = netlist::generate_design(cfg, lib, "fig1a");
+  std::printf("netlist: %zu gates -> %.0f source-to-endpoint paths\n",
+              d.cell_count(), netlist::count_netlist_paths(d));
+
+  // A wire RC net with 11 capacitances and 2 sinks, as in Fig. 1(b).
+  std::mt19937_64 rng(7);
+  rcnet::NetGenConfig ncfg;
+  ncfg.min_nodes = 11;
+  ncfg.max_nodes = 11;
+  ncfg.min_sinks = 2;
+  ncfg.max_sinks = 2;
+  ncfg.non_tree_fraction = 0.0;
+  const rcnet::RcNet net = rcnet::generate_net(ncfg, rng, "fig1b");
+  std::printf("wire:    %zu caps  -> %llu wire paths\n\n", net.node_count(),
+              static_cast<unsigned long long>(rcnet::count_simple_paths(net)));
+}
+
+void fig2a() {
+  std::printf("== Fig. 2(a): #paths vs #gates on netlists ==\n");
+  std::printf("%-10s %-12s %-16s\n", "#gates", "depth", "#paths");
+  const auto lib = cell::CellLibrary::make_default();
+  for (std::uint32_t width : {6u, 10u, 16u, 24u, 36u, 48u}) {
+    netlist::DesignGenConfig cfg;
+    cfg.startpoints = width / 2;
+    cfg.levels = 4 + width / 8;
+    cfg.cells_per_level = width;
+    cfg.seed = 1000 + width;
+    const netlist::Design d = netlist::generate_design(cfg, lib, "sweep");
+    std::printf("%-10zu %-12u %-16.3g\n", d.cell_count(), cfg.levels,
+                netlist::count_netlist_paths(d));
+  }
+  std::printf("\n");
+}
+
+void fig2b() {
+  std::printf("== Fig. 2(b): #paths vs #caps on wires ==\n");
+  std::printf("%-10s %-14s %-14s\n", "#caps", "mean #paths", "max #paths");
+  std::mt19937_64 rng(42);
+  for (std::uint32_t caps : {10u, 20u, 40u, 80u, 120u, 160u}) {
+    rcnet::NetGenConfig cfg;
+    cfg.min_nodes = caps;
+    cfg.max_nodes = caps;
+    std::uint64_t max_paths = 0;
+    double sum = 0.0;
+    const int samples = 200;
+    for (int i = 0; i < samples; ++i) {
+      const rcnet::RcNet net = rcnet::generate_net(cfg, rng, "w");
+      const std::uint64_t p = rcnet::count_simple_paths(net);
+      max_paths = std::max(max_paths, p);
+      sum += static_cast<double>(p);
+    }
+    std::printf("%-10u %-14.1f %-14llu\n", caps, sum / samples,
+                static_cast<unsigned long long>(max_paths));
+  }
+
+  // Histogram over a large mixed population (the paper's bar chart).
+  std::printf("\nhistogram of wire path counts (1000 nets, bucket width 10):\n");
+  rcnet::NetGenConfig cfg;
+  std::vector<rcnet::RcNet> nets;
+  nets.reserve(1000);
+  for (int i = 0; i < 1000; ++i) nets.push_back(rcnet::generate_net(cfg, rng, "h"));
+  const rcnet::CollectionStats agg = rcnet::aggregate_stats(nets, 10);
+  for (std::size_t b = 0; b < agg.path_histogram.size(); ++b)
+    std::printf("  paths %3zu-%-3zu : %zu nets\n", b * 10, b * 10 + 9,
+                agg.path_histogram[b]);
+  std::printf("max paths on any wire: %llu (paper: 49)\n",
+              static_cast<unsigned long long>(agg.max_simple_paths));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1 / Fig. 2 reproduction ===\n\n");
+  fig1_example();
+  fig2a();
+  fig2b();
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Reproduces Table V: path arrival time accuracy (R^2 / max abs error) and
+// runtime on the 7 test designs.
+//
+// Protocol (CPU-scaled from the paper):
+//  1. Golden STA (transient wire timing with SI) over the 11 training designs
+//     yields labeled nets under their true propagated slews.
+//  2. Train DAC20 and GNNTrans under three layer plans:
+//     PlanA (L1=5, L2=1), PlanB (4, 2), PlanC (3, 3) — the paper's 25/5,
+//     20/10, 15/15 divided by the global depth scale of 5.
+//  3. On each test design, run golden STA (reference; R^2 = 1 by definition)
+//     and STA with each learned wire source; compare endpoint arrivals and
+//     wall-clock split (gate vs wire).
+#include <cstdio>
+#include <unordered_map>
+
+#include "core/metrics.hpp"
+#include "support.hpp"
+
+using namespace gnntrans;
+using bench::TablePrinter;
+
+namespace {
+
+/// Adapts the DAC'20 estimator to the STA wire-timing interface.
+class Dac20WireSource final : public netlist::WireTimingSource {
+ public:
+  Dac20WireSource(const baseline::Dac20Estimator& estimator,
+                  const netlist::Design& design, const cell::CellLibrary& library)
+      : estimator_(estimator), design_(design), library_(library) {
+    for (std::size_t i = 0; i < design.nets.size(); ++i)
+      net_by_name_.emplace(design.nets[i].rc.name, i);
+  }
+
+  std::vector<sim::SinkTiming> time_net(const rcnet::RcNet& net,
+                                        double input_slew,
+                                        double driver_resistance) override {
+    features::NetContext ctx;
+    ctx.input_slew = input_slew;
+    ctx.driver_resistance = driver_resistance;
+    const auto it = net_by_name_.find(net.name);
+    if (it != net_by_name_.end()) {
+      const netlist::DesignNet& dnet = design_.nets[it->second];
+      const cell::Cell& driver =
+          library_.at(design_.instances[dnet.driver].cell_index);
+      ctx.driver_strength = driver.drive_strength;
+      ctx.driver_function = static_cast<std::uint32_t>(driver.function);
+      for (netlist::InstanceId load : dnet.loads) {
+        const cell::Cell& lc = library_.at(design_.instances[load].cell_index);
+        ctx.loads.push_back({lc.drive_strength,
+                             static_cast<std::uint32_t>(lc.function), lc.input_cap});
+      }
+    } else {
+      ctx.loads.assign(net.sinks.size(), features::SinkLoad{});
+    }
+    std::vector<sim::SinkTiming> out;
+    for (const baseline::PathTiming& pt : estimator_.estimate(net, ctx)) {
+      sim::SinkTiming st;
+      st.sink = pt.sink;
+      st.delay = pt.delay;
+      st.slew = std::max(1e-12, pt.slew);
+      st.settled = true;
+      out.push_back(st);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string name() const override { return "DAC20"; }
+
+ private:
+  const baseline::Dac20Estimator& estimator_;
+  const netlist::Design& design_;
+  const cell::CellLibrary& library_;
+  std::unordered_map<std::string, std::size_t> net_by_name_;
+};
+
+struct ArrivalScore {
+  double r2 = 0.0;
+  double max_err_ps = 0.0;
+};
+
+ArrivalScore score(const std::vector<double>& pred,
+                   const std::vector<double>& ref) {
+  ArrivalScore s;
+  s.r2 = core::r2_score(pred, ref);
+  s.max_err_ps = core::max_abs_error(pred, ref) * 1e12;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  const auto lib = cell::CellLibrary::make_default();
+  sim::TransientConfig tc;
+  tc.steps = scale.sim_steps;
+
+  std::printf("=== Table V reproduction: path arrival time accuracy & runtime ===\n\n");
+
+  // ---- 1. Labeled training nets from the 11 training designs ----
+  std::printf("[data] timing training designs with golden STA...\n");
+  std::vector<features::WireRecord> train_records;
+  for (const netlist::BenchmarkSpec& spec : netlist::paper_benchmarks(scale.factor)) {
+    if (!spec.training) continue;
+    const netlist::Design d = netlist::generate_design(spec.config, lib, spec.name);
+    netlist::GoldenWireSource golden(tc);
+    const netlist::StaResult sta = netlist::run_sta(d, lib, golden);
+    sim::GoldenTimer timer(tc);
+    auto recs = features::records_from_design(d, lib, timer, &sta.slew);
+    std::move(recs.begin(), recs.end(), std::back_inserter(train_records));
+  }
+  std::printf("[data] %zu labeled training nets\n", train_records.size());
+
+  // ---- 2. Train the estimators ----
+  std::printf("[train] DAC20...\n");
+  baseline::Dac20Estimator dac;
+  baseline::GbdtConfig gcfg;
+  gcfg.trees = 120;
+  dac.train(train_records, gcfg);
+
+  struct Plan {
+    const char* name;
+    std::size_t l1, l2;
+    core::WireTimingEstimator estimator;
+  };
+  std::vector<Plan> plans;
+  const std::tuple<const char*, std::size_t, std::size_t> plan_defs[] = {
+      {"PlanA", 5, 1}, {"PlanB", 4, 2}, {"PlanC", 3, 3}};
+  for (const auto& [name, l1, l2] : plan_defs) {
+    std::printf("[train] GNNTrans %s (L1=%zu, L2=%zu)...\n", name, l1, l2);
+    plans.push_back(
+        {name, l1, l2, bench::train_gnntrans(scale, train_records, l1, l2)});
+  }
+
+  // ---- 3. Evaluate on the 7 test designs ----
+  TablePrinter table({"Benchmark", "PrimeTime", "DAC20", "PlanA", "PlanB",
+                      "PlanC", "STA-SI Full", "Gate(s)", "Wire(s)", "Total(s)"},
+                     {12, 13, 15, 15, 15, 15, 13, 9, 9, 9});
+  std::printf("\nPath arrival accuracy: R^2/MAE(ps); runtime in seconds\n");
+  table.print_header();
+
+  double sum_r2[4] = {0, 0, 0, 0};
+  double sum_mae[4] = {0, 0, 0, 0};
+  double sum_full = 0, sum_gate = 0, sum_wire = 0;
+  std::size_t design_count = 0;
+
+  for (const netlist::BenchmarkSpec& spec : netlist::paper_benchmarks(scale.factor)) {
+    if (spec.training) continue;
+    ++design_count;
+    const netlist::Design d = netlist::generate_design(spec.config, lib, spec.name);
+
+    netlist::GoldenWireSource golden(tc);
+    const netlist::StaResult ref = netlist::run_sta(d, lib, golden);
+    const double full_runtime = ref.gate_seconds + ref.wire_seconds;
+
+    Dac20WireSource dac_source(dac, d, lib);
+    const netlist::StaResult dac_sta = netlist::run_sta(d, lib, dac_source);
+    const ArrivalScore dac_score =
+        score(dac_sta.endpoint_arrival, ref.endpoint_arrival);
+
+    ArrivalScore plan_scores[3];
+    double gate_s = 0, wire_s = 0;
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      core::EstimatorWireSource source(plans[p].estimator, d, lib);
+      const netlist::StaResult sta = netlist::run_sta(d, lib, source);
+      plan_scores[p] = score(sta.endpoint_arrival, ref.endpoint_arrival);
+      if (plans[p].name == std::string("PlanB")) {
+        gate_s = sta.gate_seconds;
+        wire_s = sta.wire_seconds;
+      }
+    }
+
+    sum_r2[0] += dac_score.r2;
+    sum_mae[0] += dac_score.max_err_ps;
+    for (int p = 0; p < 3; ++p) {
+      sum_r2[p + 1] += plan_scores[p].r2;
+      sum_mae[p + 1] += plan_scores[p].max_err_ps;
+    }
+    sum_full += full_runtime;
+    sum_gate += gate_s;
+    sum_wire += wire_s;
+
+    table.print_row(
+        {spec.name, "1.000/0.00",
+         TablePrinter::fmt(dac_score.r2) + "/" +
+             TablePrinter::fmt(dac_score.max_err_ps, 2),
+         TablePrinter::fmt(plan_scores[0].r2) + "/" +
+             TablePrinter::fmt(plan_scores[0].max_err_ps, 2),
+         TablePrinter::fmt(plan_scores[1].r2) + "/" +
+             TablePrinter::fmt(plan_scores[1].max_err_ps, 2),
+         TablePrinter::fmt(plan_scores[2].r2) + "/" +
+             TablePrinter::fmt(plan_scores[2].max_err_ps, 2),
+         TablePrinter::fmt(full_runtime, 2), TablePrinter::fmt(gate_s, 2),
+         TablePrinter::fmt(wire_s, 2), TablePrinter::fmt(gate_s + wire_s, 2)});
+  }
+
+  const double n = static_cast<double>(design_count);
+  table.print_row(
+      {"Average", "1.000/0.00",
+       TablePrinter::fmt(sum_r2[0] / n) + "/" + TablePrinter::fmt(sum_mae[0] / n, 2),
+       TablePrinter::fmt(sum_r2[1] / n) + "/" + TablePrinter::fmt(sum_mae[1] / n, 2),
+       TablePrinter::fmt(sum_r2[2] / n) + "/" + TablePrinter::fmt(sum_mae[2] / n, 2),
+       TablePrinter::fmt(sum_r2[3] / n) + "/" + TablePrinter::fmt(sum_mae[3] / n, 2),
+       TablePrinter::fmt(sum_full / n, 2), TablePrinter::fmt(sum_gate / n, 2),
+       TablePrinter::fmt(sum_wire / n, 2),
+       TablePrinter::fmt((sum_gate + sum_wire) / n, 2)});
+
+  std::printf(
+      "\nPaper averages (Table V): DAC20 0.648/74.59ps; PlanA 0.968/3.48ps; "
+      "PlanB 0.985/1.93ps; PlanC 0.981/1.70ps.\nRuntime shape to hold: our "
+      "wire timing is a small fraction of full STA-SI wall time\n(the paper's "
+      "wire column is ~6x to 12x cheaper than full STA).\n");
+  return 0;
+}

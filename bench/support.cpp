@@ -1,0 +1,204 @@
+#include "support.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/metrics.hpp"
+
+namespace gnntrans::bench {
+
+Scale Scale::from_env() {
+  Scale s;
+  if (const char* env = std::getenv("GNNTRANS_BENCH_SCALE")) {
+    const double f = std::atof(env);
+    if (f > 0.0) s.factor = f;
+  }
+  auto scaled = [&](std::size_t base) {
+    return std::max<std::size_t>(10, static_cast<std::size_t>(base * s.factor));
+  };
+  s.train_nets_per_design = scaled(s.train_nets_per_design);
+  s.test_nets_per_design = scaled(s.test_nets_per_design);
+  return s;
+}
+
+std::vector<BenchmarkData> build_wire_datasets(const Scale& scale,
+                                               const cell::CellLibrary& library) {
+  std::vector<BenchmarkData> out;
+  std::uint64_t seed = 20230100;
+  for (netlist::BenchmarkSpec& spec : netlist::paper_benchmarks(scale.factor)) {
+    BenchmarkData data;
+    features::WireDatasetConfig cfg;
+    cfg.net_count = spec.training ? scale.train_nets_per_design
+                                  : scale.test_nets_per_design;
+    cfg.net_config = spec.config.net_config;
+    cfg.sim_config.steps = scale.sim_steps;
+    cfg.seed = ++seed * 104729;
+    data.records = features::generate_wire_records(cfg, library);
+    data.spec = std::move(spec);
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+std::vector<features::WireRecord> pool_training_records(
+    const std::vector<BenchmarkData>& datasets) {
+  std::vector<features::WireRecord> pool;
+  for (const BenchmarkData& data : datasets)
+    if (data.spec.training)
+      pool.insert(pool.end(), data.records.begin(), data.records.end());
+  return pool;
+}
+
+std::vector<features::WireRecord> non_tree_only(
+    const std::vector<features::WireRecord>& records) {
+  std::vector<features::WireRecord> out;
+  for (const features::WireRecord& rec : records)
+    if (rec.non_tree) out.push_back(rec);
+  return out;
+}
+
+namespace {
+
+/// Neural zoo member backed by WireTimingEstimator.
+class NeuralEntry final : public ZooEntry {
+ public:
+  NeuralEntry(std::string name, core::WireTimingEstimator estimator)
+      : name_(std::move(name)), estimator_(std::move(estimator)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  std::pair<double, double> evaluate(
+      const std::vector<features::WireRecord>& records) const override {
+    const core::Evaluation eval = estimator_.evaluate(records);
+    return {eval.slew_r2, eval.delay_r2};
+  }
+
+ private:
+  std::string name_;
+  core::WireTimingEstimator estimator_;
+};
+
+/// DAC'20 zoo member.
+class Dac20Entry final : public ZooEntry {
+ public:
+  explicit Dac20Entry(baseline::Dac20Estimator estimator)
+      : estimator_(std::move(estimator)) {}
+
+  [[nodiscard]] std::string name() const override { return "DAC20"; }
+
+  std::pair<double, double> evaluate(
+      const std::vector<features::WireRecord>& records) const override {
+    std::vector<double> slew_pred, slew_true, delay_pred, delay_true;
+    for (const features::WireRecord& rec : records) {
+      const auto pred = estimator_.estimate(rec.net, rec.context);
+      for (std::size_t q = 0; q < pred.size(); ++q) {
+        slew_pred.push_back(pred[q].slew);
+        delay_pred.push_back(pred[q].delay);
+        slew_true.push_back(rec.slew_labels[q]);
+        delay_true.push_back(rec.delay_labels[q]);
+      }
+    }
+    if (slew_true.empty()) return {0.0, 0.0};
+    return {core::r2_score(slew_pred, slew_true),
+            core::r2_score(delay_pred, delay_true)};
+  }
+
+ private:
+  baseline::Dac20Estimator estimator_;
+};
+
+core::WireTimingEstimator::Options neural_options(const Scale& scale,
+                                                  nn::ModelKind kind) {
+  core::WireTimingEstimator::Options opt;
+  opt.kind = kind;
+  opt.model.hidden_dim = scale.hidden_dim;
+  opt.model.heads = scale.heads;
+  opt.model.mlp_hidden = scale.mlp_hidden;
+  if (kind == nn::ModelKind::kGnnTrans) {
+    opt.model.gnn_layers = scale.gnn_layers;
+    opt.model.transformer_layers = scale.transformer_layers;
+  } else {
+    opt.model.gnn_layers = scale.baseline_layers;
+  }
+  opt.train.epochs = scale.epochs;
+  return opt;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<ZooEntry>> train_zoo(
+    const Scale& scale, const std::vector<features::WireRecord>& train_records,
+    bool verbose) {
+  std::vector<std::unique_ptr<ZooEntry>> zoo;
+
+  if (verbose) std::printf("[train] DAC20 (GBDT + loop breaking)...\n");
+  baseline::Dac20Estimator dac;
+  baseline::GbdtConfig gcfg;
+  gcfg.trees = 120;
+  dac.train(train_records, gcfg);
+  zoo.push_back(std::make_unique<Dac20Entry>(std::move(dac)));
+
+  const std::pair<nn::ModelKind, const char*> neural[] = {
+      {nn::ModelKind::kGcnii, "GCNII"},
+      {nn::ModelKind::kGraphSage, "GraphSage"},
+      {nn::ModelKind::kGat, "GAT"},
+      {nn::ModelKind::kGraphTransformer, "Trans."},
+      {nn::ModelKind::kGnnTrans, "GNNTrans"},
+  };
+  for (const auto& [kind, label] : neural) {
+    if (verbose) std::printf("[train] %s...\n", label);
+    auto est = core::WireTimingEstimator::train(train_records,
+                                                neural_options(scale, kind));
+    zoo.push_back(std::make_unique<NeuralEntry>(label, std::move(est)));
+  }
+  return zoo;
+}
+
+core::WireTimingEstimator train_gnntrans(
+    const Scale& scale, const std::vector<features::WireRecord>& train_records,
+    std::size_t l1, std::size_t l2, nn::ModelConfig overrides) {
+  core::WireTimingEstimator::Options opt =
+      neural_options(scale, nn::ModelKind::kGnnTrans);
+  opt.model.gnn_layers = l1;
+  opt.model.transformer_layers = l2;
+  opt.model.use_edge_weights = overrides.use_edge_weights;
+  opt.model.global_attention = overrides.global_attention;
+  opt.model.use_path_features = overrides.use_path_features;
+  opt.model.cascade_delay_head = overrides.cascade_delay_head;
+  return core::WireTimingEstimator::train(train_records, opt);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+void TablePrinter::print_header() const {
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    std::printf("%-*s", widths_[i], headers_[i].c_str());
+  std::printf("\n");
+  int total = 0;
+  for (int w : widths_) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) const {
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i)
+    std::printf("%-*s", widths_[i], cells[i].c_str());
+  std::printf("\n");
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::fmt_pair(double a, double b, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f/%.*f", precision, a, precision, b);
+  return buf;
+}
+
+}  // namespace gnntrans::bench

@@ -1,0 +1,103 @@
+/// \file support.hpp
+/// Shared experiment protocol for the paper-reproduction benches: CPU-scaled
+/// sizes, per-benchmark dataset construction, model-zoo training, and table
+/// printing. Every bench binary reproducing a paper table/figure builds on
+/// this so the protocol (splits, seeds, scaling) is identical across tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/dac20.hpp"
+#include "cell/library.hpp"
+#include "core/estimator.hpp"
+#include "features/dataset.hpp"
+#include "netlist/generate.hpp"
+
+namespace gnntrans::bench {
+
+/// CPU-scaled experiment sizes. The paper trains on ~1M nets with 4 V100s for
+/// 19h; these defaults target minutes on one CPU core while preserving the
+/// protocol. GNNTRANS_BENCH_SCALE (float env var) scales net counts.
+struct Scale {
+  double factor = 1.0;              ///< from GNNTRANS_BENCH_SCALE
+  std::size_t train_nets_per_design = 165;
+  std::size_t test_nets_per_design = 120;
+  std::size_t epochs = 32;
+  std::size_t hidden_dim = 16;
+  std::size_t heads = 4;
+  std::size_t mlp_hidden = 32;
+  /// Paper layer counts divided by 5: GNNTrans L1=20,L2=10 -> 4,2;
+  /// baselines L=20 -> 4.
+  std::size_t gnn_layers = 4;
+  std::size_t transformer_layers = 2;
+  std::size_t baseline_layers = 4;
+  std::size_t sim_steps = 800;
+
+  /// Reads GNNTRANS_BENCH_SCALE and applies it to net counts.
+  static Scale from_env();
+};
+
+/// Labeled wire records for one paper benchmark (Table II row).
+struct BenchmarkData {
+  netlist::BenchmarkSpec spec;
+  std::vector<features::WireRecord> records;
+};
+
+/// Generates per-benchmark standalone-net datasets following Table II: one
+/// record set per benchmark, non-tree fraction taken from the spec, contexts
+/// randomized, labels from the golden timer.
+std::vector<BenchmarkData> build_wire_datasets(const Scale& scale,
+                                               const cell::CellLibrary& library);
+
+/// Pools the records of all training benchmarks.
+std::vector<features::WireRecord> pool_training_records(
+    const std::vector<BenchmarkData>& datasets);
+
+/// One trained wire-timing predictor (neural or DAC'20) with a uniform
+/// evaluation interface.
+class ZooEntry {
+ public:
+  virtual ~ZooEntry() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Seconds-space (slew R^2, delay R^2) on the given records.
+  virtual std::pair<double, double> evaluate(
+      const std::vector<features::WireRecord>& records) const = 0;
+};
+
+/// Trains the full comparison zoo of Tables III/IV: DAC20, GCNII, GraphSage,
+/// GAT, Trans. (graph transformer), GNNTrans — in paper column order.
+std::vector<std::unique_ptr<ZooEntry>> train_zoo(
+    const Scale& scale, const std::vector<features::WireRecord>& train_records,
+    bool verbose = true);
+
+/// Trains only the GNNTrans estimator with the given layer plan.
+core::WireTimingEstimator train_gnntrans(
+    const Scale& scale, const std::vector<features::WireRecord>& train_records,
+    std::size_t l1, std::size_t l2, nn::ModelConfig overrides = {});
+
+/// Filters records to non-tree nets only.
+std::vector<features::WireRecord> non_tree_only(
+    const std::vector<features::WireRecord>& records);
+
+// ---- Table printing ----
+
+/// Fixed-width table printer for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths);
+  void print_header() const;
+  void print_row(const std::vector<std::string>& cells) const;
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_pair(double a, double b, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+}  // namespace gnntrans::bench

@@ -1,0 +1,107 @@
+#include "baseline/dac20.hpp"
+
+#include <stdexcept>
+
+#include "baseline/loop_breaking.hpp"
+#include "rcnet/paths.hpp"
+#include "sim/wire_analysis.hpp"
+#include "tensor/serialize.hpp"
+
+namespace gnntrans::baseline {
+
+std::vector<std::vector<float>> dac20_features(const rcnet::RcNet& net,
+                                               const features::NetContext& context) {
+  // Everything below is computed on the loop-broken tree — the baseline's
+  // defining approximation.
+  const rcnet::RcNet tree = break_loops(net);
+  const sim::WireAnalysis wa = sim::analyze_wire(tree);
+
+  constexpr double kF = 1e15, kS = 1e12, kR = 1e-3;
+  const double net_res = tree.total_resistance();
+  const double net_cap = tree.total_ground_cap();
+
+  std::vector<std::vector<float>> rows;
+  rows.reserve(wa.paths.size());
+  for (std::size_t q = 0; q < wa.paths.size(); ++q) {
+    const rcnet::WirePath& path = wa.paths[q];
+    const features::SinkLoad& load = context.loads[q];
+
+    double path_cap = 0.0;
+    for (rcnet::NodeId v : path.nodes) path_cap += tree.ground_cap[v];
+
+    std::vector<float> row(kDac20FeatureCount, 0.0f);
+    std::size_t i = 0;
+    row[i++] = static_cast<float>(context.input_slew * kS);
+    row[i++] = static_cast<float>(context.driver_resistance * kR);
+    row[i++] = static_cast<float>(context.driver_strength);
+    row[i++] = static_cast<float>(context.driver_function);
+    row[i++] = static_cast<float>(load.drive_strength);
+    row[i++] = static_cast<float>(load.function);
+    row[i++] = static_cast<float>(load.input_cap * kF);
+    row[i++] = static_cast<float>(wa.moments.m1[path.sink] * kS);
+    row[i++] = static_cast<float>(wa.d2m[path.sink] * kS);
+    const double m1 = wa.moments.m1[path.sink];
+    row[i++] = static_cast<float>(
+        std::sqrt(std::max(0.0, 2.0 * wa.moments.m2[path.sink] - m1 * m1)) * kS);
+    row[i++] = static_cast<float>(path.path_resistance(tree) * kR);
+    row[i++] = static_cast<float>(path_cap * kF);
+    row[i++] = static_cast<float>(path.nodes.size());
+    row[i++] = static_cast<float>(tree.sinks.size());
+    row[i++] = static_cast<float>(net_res * kR);
+    row[i++] = static_cast<float>(net_cap * kF);
+    row[i++] = static_cast<float>(wa.downstream_cap[tree.source] * kF);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void Dac20Estimator::train(const std::vector<features::WireRecord>& records,
+                           const GbdtConfig& config) {
+  std::vector<std::vector<float>> x;
+  std::vector<double> slew_y, delay_y;
+  for (const features::WireRecord& rec : records) {
+    std::vector<std::vector<float>> rows = dac20_features(rec.net, rec.context);
+    for (std::size_t q = 0; q < rows.size(); ++q) {
+      x.push_back(std::move(rows[q]));
+      // Labels in ps keep the squared-loss landscape well-scaled.
+      slew_y.push_back(rec.slew_labels[q] * 1e12);
+      delay_y.push_back(rec.delay_labels[q] * 1e12);
+    }
+  }
+  if (x.empty()) throw std::invalid_argument("Dac20Estimator: no training paths");
+  slew_model_.fit(x, slew_y, config);
+  delay_model_.fit(x, delay_y, config);
+  trained_ = true;
+}
+
+std::vector<PathTiming> Dac20Estimator::estimate(
+    const rcnet::RcNet& net, const features::NetContext& context) const {
+  if (!trained_) throw std::logic_error("Dac20Estimator: train() first");
+  const std::vector<std::vector<float>> rows = dac20_features(net, context);
+
+  std::vector<PathTiming> out;
+  out.reserve(rows.size());
+  for (std::size_t q = 0; q < rows.size(); ++q) {
+    PathTiming pt;
+    pt.sink = net.sinks[q];
+    pt.slew = slew_model_.predict(rows[q]) * 1e-12;
+    pt.delay = delay_model_.predict(rows[q]) * 1e-12;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+void Dac20Estimator::save(std::ostream& out) const {
+  tensor::write_header(out, "DAC20_MODEL", 1);
+  slew_model_.save(out);
+  delay_model_.save(out);
+}
+
+void Dac20Estimator::load(std::istream& in) {
+  tensor::check_header(in, "DAC20_MODEL", 1);
+  slew_model_.load(in);
+  delay_model_.load(in);
+  trained_ = true;
+}
+
+}  // namespace gnntrans::baseline

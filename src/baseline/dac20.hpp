@@ -1,0 +1,56 @@
+/// \file dac20.hpp
+/// The DAC'20 [5] baseline estimator: loop-breaking + hand-crafted net
+/// structure features + gradient-boosted trees for slew and delay.
+///
+/// Faithful to the failure mode the paper exploits: all features are computed
+/// on the loop-broken spanning tree, so non-tree conduction is invisible to
+/// the model.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "baseline/gbdt.hpp"
+#include "features/dataset.hpp"
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::baseline {
+
+/// Per-path prediction in seconds.
+struct PathTiming {
+  rcnet::NodeId sink = 0;
+  double slew = 0.0;
+  double delay = 0.0;
+};
+
+/// Number of hand-crafted per-path features.
+inline constexpr std::size_t kDac20FeatureCount = 17;
+
+/// Builds the DAC'20 flat feature vector for every path of \p net (features
+/// computed after loop-breaking). Returns one row per sink, sink order.
+[[nodiscard]] std::vector<std::vector<float>> dac20_features(
+    const rcnet::RcNet& net, const features::NetContext& context);
+
+/// The trained baseline.
+class Dac20Estimator {
+ public:
+  /// Fits the slew and delay GBDTs on labeled records.
+  void train(const std::vector<features::WireRecord>& records,
+             const GbdtConfig& config = {});
+
+  /// Predicts per-path wire timing (seconds) for one net.
+  [[nodiscard]] std::vector<PathTiming> estimate(
+      const rcnet::RcNet& net, const features::NetContext& context) const;
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+ private:
+  GbdtRegressor slew_model_;
+  GbdtRegressor delay_model_;
+  bool trained_ = false;
+};
+
+}  // namespace gnntrans::baseline

@@ -1,0 +1,186 @@
+#include "baseline/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace gnntrans::baseline {
+
+namespace {
+
+double mean_of(const std::vector<double>& y, const std::vector<std::uint32_t>& index,
+               std::size_t begin, std::size_t end) {
+  double acc = 0.0;
+  for (std::size_t i = begin; i < end; ++i) acc += y[index[i]];
+  return acc / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+void RegressionTree::fit(const std::vector<std::vector<float>>& x,
+                         const std::vector<double>& y, std::size_t max_depth,
+                         std::size_t min_samples_leaf) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("RegressionTree::fit: bad inputs");
+  nodes_.clear();
+  std::vector<std::uint32_t> index(x.size());
+  std::iota(index.begin(), index.end(), 0u);
+  build(x, y, index, 0, index.size(), 0, max_depth, min_samples_leaf);
+}
+
+std::size_t RegressionTree::build(const std::vector<std::vector<float>>& x,
+                                  const std::vector<double>& y,
+                                  std::vector<std::uint32_t>& index,
+                                  std::size_t begin, std::size_t end,
+                                  std::size_t depth, std::size_t max_depth,
+                                  std::size_t min_samples_leaf) {
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+  const std::size_t count = end - begin;
+  nodes_[node_id].value = mean_of(y, index, begin, end);
+
+  if (depth >= max_depth || count < 2 * min_samples_leaf) return node_id;
+
+  // Exact greedy split: for each feature, sort the segment and scan prefixes.
+  const std::size_t dim = x[index[begin]].size();
+  double best_gain = 1e-24;
+  std::int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    total_sum += y[index[i]];
+    total_sq += y[index[i]] * y[index[i]];
+  }
+  const double parent_sse = total_sq - total_sum * total_sum / count;
+
+  std::vector<std::uint32_t> scratch(index.begin() + begin, index.begin() + end);
+  for (std::size_t f = 0; f < dim; ++f) {
+    std::sort(scratch.begin(), scratch.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return x[a][f] < x[b][f];
+    });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+      const double v = y[scratch[i]];
+      left_sum += v;
+      left_sq += v * v;
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = count - left_n;
+      if (left_n < min_samples_leaf || right_n < min_samples_leaf) continue;
+      // No split between equal feature values.
+      if (x[scratch[i]][f] >= x[scratch[i + 1]][f]) continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / left_n) +
+                         (right_sq - right_sum * right_sum / right_n);
+      const double gain = parent_sse - sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = 0.5f * (x[scratch[i]][f] + x[scratch[i + 1]][f]);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition the segment in place.
+  const auto mid_it = std::stable_partition(
+      index.begin() + begin, index.begin() + end, [&](std::uint32_t i) {
+        return x[i][static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - index.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::size_t left_id =
+      build(x, y, index, begin, mid, depth + 1, max_depth, min_samples_leaf);
+  const std::size_t right_id =
+      build(x, y, index, mid, end, depth + 1, max_depth, min_samples_leaf);
+  nodes_[node_id].left = static_cast<std::int32_t>(left_id);
+  nodes_[node_id].right = static_cast<std::int32_t>(right_id);
+  return node_id;
+}
+
+double RegressionTree::predict(std::span<const float> features) const {
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[node].feature);
+    node = static_cast<std::size_t>(
+        features[f] <= nodes_[node].threshold ? nodes_[node].left : nodes_[node].right);
+  }
+  return nodes_[node].value;
+}
+
+void RegressionTree::save(std::ostream& out) const {
+  tensor::write_u32(out, static_cast<std::uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    tensor::write_u32(out, static_cast<std::uint32_t>(n.feature));
+    tensor::write_u32(out, static_cast<std::uint32_t>(n.left));
+    tensor::write_u32(out, static_cast<std::uint32_t>(n.right));
+    tensor::write_doubles(out, {static_cast<double>(n.threshold), n.value});
+  }
+}
+
+void RegressionTree::load(std::istream& in) {
+  const std::uint32_t count = tensor::read_u32(in);
+  nodes_.assign(count, Node{});
+  for (Node& n : nodes_) {
+    n.feature = static_cast<std::int32_t>(tensor::read_u32(in));
+    n.left = static_cast<std::int32_t>(tensor::read_u32(in));
+    n.right = static_cast<std::int32_t>(tensor::read_u32(in));
+    const auto vals = tensor::read_doubles(in);
+    if (vals.size() != 2) throw std::runtime_error("RegressionTree: bad node");
+    n.threshold = static_cast<float>(vals[0]);
+    n.value = vals[1];
+  }
+}
+
+void GbdtRegressor::fit(const std::vector<std::vector<float>>& x,
+                        const std::vector<double>& y, const GbdtConfig& config) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("GbdtRegressor::fit: bad inputs");
+  learning_rate_ = config.learning_rate;
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+
+  std::vector<double> residual(y.size());
+  std::vector<double> current(y.size(), base_);
+  trees_.clear();
+  trees_.reserve(config.trees);
+  for (std::size_t t = 0; t < config.trees; ++t) {
+    for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - current[i];
+    RegressionTree tree;
+    tree.fit(x, residual, config.max_depth, config.min_samples_leaf);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      current[i] += learning_rate_ * tree.predict(x[i]);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::predict(std::span<const float> features) const {
+  double acc = base_;
+  for (const RegressionTree& tree : trees_)
+    acc += learning_rate_ * tree.predict(features);
+  return acc;
+}
+
+void GbdtRegressor::save(std::ostream& out) const {
+  tensor::write_doubles(out, {base_, learning_rate_});
+  tensor::write_u32(out, static_cast<std::uint32_t>(trees_.size()));
+  for (const RegressionTree& t : trees_) t.save(out);
+}
+
+void GbdtRegressor::load(std::istream& in) {
+  const auto header = tensor::read_doubles(in);
+  if (header.size() != 2) throw std::runtime_error("GbdtRegressor: bad header");
+  base_ = header[0];
+  learning_rate_ = header[1];
+  trees_.assign(tensor::read_u32(in), RegressionTree{});
+  for (RegressionTree& t : trees_) t.load(in);
+}
+
+}  // namespace gnntrans::baseline

@@ -1,0 +1,71 @@
+/// \file gbdt.hpp
+/// Gradient-boosted regression trees (the XGBoost substitute for the DAC'20
+/// baseline, DESIGN.md §1): squared loss, exact greedy splits, shrinkage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace gnntrans::baseline {
+
+/// Boosting hyperparameters.
+struct GbdtConfig {
+  std::size_t trees = 120;
+  std::size_t max_depth = 4;
+  double learning_rate = 0.1;
+  std::size_t min_samples_leaf = 8;
+};
+
+/// One regression tree stored as a flat node array.
+class RegressionTree {
+ public:
+  /// Fits to (X, residuals): exact greedy variance-reduction splits.
+  void fit(const std::vector<std::vector<float>>& x, const std::vector<double>& y,
+           std::size_t max_depth, std::size_t min_samples_leaf);
+
+  [[nodiscard]] double predict(std::span<const float> features) const;
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;  ///< -1 marks a leaf
+    float threshold = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;  ///< leaf prediction
+  };
+
+  std::size_t build(const std::vector<std::vector<float>>& x,
+                    const std::vector<double>& y, std::vector<std::uint32_t>& index,
+                    std::size_t begin, std::size_t end, std::size_t depth,
+                    std::size_t max_depth, std::size_t min_samples_leaf);
+
+  std::vector<Node> nodes_;
+};
+
+/// The boosted ensemble.
+class GbdtRegressor {
+ public:
+  void fit(const std::vector<std::vector<float>>& x, const std::vector<double>& y,
+           const GbdtConfig& config);
+
+  [[nodiscard]] double predict(std::span<const float> features) const;
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  double base_ = 0.0;  ///< initial prediction (label mean)
+  double learning_rate_ = 0.1;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace gnntrans::baseline

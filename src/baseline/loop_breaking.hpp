@@ -1,0 +1,17 @@
+/// \file loop_breaking.hpp
+/// The DAC'20 [5] loop-breaking preprocessing: force a non-tree RC net into a
+/// spanning tree so tree-only formulas apply. This is exactly the step the
+/// paper blames for the baseline's accuracy loss on non-tree nets — removing
+/// loop resistors discards real parallel conduction paths.
+#pragma once
+
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::baseline {
+
+/// Returns a copy of \p net whose resistive graph is a minimum-resistance
+/// spanning tree (loop edges with the largest resistance are dropped first,
+/// mirroring "break the weakest redundant route"). Tree nets return unchanged.
+[[nodiscard]] rcnet::RcNet break_loops(const rcnet::RcNet& net);
+
+}  // namespace gnntrans::baseline

@@ -1,0 +1,398 @@
+#include "cell/liberty.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "cell/nldm.hpp"
+
+namespace gnntrans::cell {
+
+namespace {
+
+// ---- Writer ----
+
+std::string join_ps(const std::vector<double>& seconds) {
+  std::ostringstream out;
+  out.precision(12);
+  for (std::size_t i = 0; i < seconds.size(); ++i) {
+    if (i) out << ", ";
+    out << seconds[i] * 1e12;
+  }
+  return out.str();
+}
+
+std::string join_ff(const std::vector<double>& farads) {
+  std::ostringstream out;
+  out.precision(12);
+  for (std::size_t i = 0; i < farads.size(); ++i) {
+    if (i) out << ", ";
+    out << farads[i] * 1e15;
+  }
+  return out.str();
+}
+
+void write_table(std::ostream& out, const char* group, const NldmTable& table) {
+  out << "      " << group << " (tbl) {\n";
+  out << "        index_1 (\"" << join_ps(table.slew_axis()) << "\");\n";
+  out << "        index_2 (\"" << join_ff(table.cap_axis()) << "\");\n";
+  out << "        values ( \\\n";
+  for (std::size_t r = 0; r < table.slew_axis().size(); ++r) {
+    out << "          \"";
+    for (std::size_t c = 0; c < table.cap_axis().size(); ++c) {
+      if (c) out << ", ";
+      std::ostringstream v;
+      v.precision(12);
+      v << table.at(r, c) * 1e12;
+      out << v.str();
+    }
+    out << "\"";
+    out << (r + 1 < table.slew_axis().size() ? ", \\\n" : " \\\n");
+  }
+  out << "        );\n";
+  out << "      }\n";
+}
+
+// ---- Tokenizer ----
+
+enum class TokenKind { kIdent, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text_ = buf.str();
+  }
+
+  Token next() {
+    skip_space_and_comments();
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, ""};
+    const char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        // Liberty line continuations inside strings: swallow backslash-newline.
+        if (text_[pos_] == '\\') {
+          ++pos_;
+          continue;
+        }
+        value.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) throw std::runtime_error("liberty: unterminated string");
+      ++pos_;
+      return {TokenKind::kString, std::move(value)};
+    }
+    if (std::strchr("{}():;,", c) != nullptr) {
+      ++pos_;
+      return {TokenKind::kSymbol, std::string(1, c)};
+    }
+    std::string ident;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           std::strchr("{}():;,\"", text_[pos_]) == nullptr)
+      ident.push_back(text_[pos_++]);
+    if (ident.empty()) throw std::runtime_error("liberty: stray character");
+    return {TokenKind::kIdent, std::move(ident)};
+  }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '\\') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        const std::size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) throw std::runtime_error("liberty: open comment");
+        pos_ = end + 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Generic group tree ----
+
+struct Group {
+  std::string name;
+  std::vector<std::string> args;
+  std::map<std::string, std::string> attributes;          // name : value;
+  std::map<std::string, std::vector<std::string>> lists;  // name (v, ...);
+  std::vector<std::unique_ptr<Group>> children;
+
+  [[nodiscard]] const Group* child(const std::string& child_name) const {
+    for (const auto& g : children)
+      if (g->name == child_name) return g.get();
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : lexer_(in) { advance(); }
+
+  /// Parses the top-level `library (...) { ... }` group.
+  std::unique_ptr<Group> parse_top() {
+    auto group = parse_group();
+    if (!group) throw std::runtime_error("liberty: no top-level group");
+    return group;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  bool accept_symbol(const char* s) {
+    if (current_.kind == TokenKind::kSymbol && current_.text == s) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_symbol(const char* s) {
+    if (!accept_symbol(s))
+      throw std::runtime_error("liberty: expected '" + std::string(s) + "' got '" +
+                               current_.text + "'");
+  }
+
+  /// Parses either a group or an attribute starting at an identifier.
+  std::unique_ptr<Group> parse_group() {
+    if (current_.kind != TokenKind::kIdent) return nullptr;
+    const std::string name = current_.text;
+    advance();
+
+    if (accept_symbol(":")) {
+      // Simple attribute: value until ';'.
+      std::string value;
+      while (current_.kind != TokenKind::kEnd &&
+             !(current_.kind == TokenKind::kSymbol && current_.text == ";")) {
+        if (!value.empty()) value += " ";
+        value += current_.text;
+        advance();
+      }
+      expect_symbol(";");
+      auto leaf = std::make_unique<Group>();
+      leaf->name = "__attr__";
+      leaf->args = {name, value};
+      return leaf;
+    }
+
+    expect_symbol("(");
+    std::vector<std::string> args;
+    while (!(current_.kind == TokenKind::kSymbol && current_.text == ")")) {
+      if (current_.kind == TokenKind::kEnd)
+        throw std::runtime_error("liberty: unterminated argument list");
+      if (!(current_.kind == TokenKind::kSymbol && current_.text == ","))
+        args.push_back(current_.text);
+      advance();
+    }
+    expect_symbol(")");
+
+    if (accept_symbol(";")) {
+      // Complex attribute: name (v1, v2, ...);
+      auto leaf = std::make_unique<Group>();
+      leaf->name = "__list__";
+      leaf->args.push_back(name);
+      for (std::string& a : args) leaf->args.push_back(std::move(a));
+      return leaf;
+    }
+
+    expect_symbol("{");
+    auto group = std::make_unique<Group>();
+    group->name = name;
+    group->args = std::move(args);
+    while (!(current_.kind == TokenKind::kSymbol && current_.text == "}")) {
+      if (current_.kind == TokenKind::kEnd)
+        throw std::runtime_error("liberty: unterminated group '" + name + "'");
+      auto child = parse_group();
+      if (!child) throw std::runtime_error("liberty: unexpected token '" + current_.text + "'");
+      if (child->name == "__attr__") {
+        group->attributes[child->args[0]] = child->args[1];
+      } else if (child->name == "__list__") {
+        std::vector<std::string> values(child->args.begin() + 1, child->args.end());
+        group->lists[child->args[0]] = std::move(values);
+      } else {
+        group->children.push_back(std::move(child));
+      }
+    }
+    expect_symbol("}");
+    return group;
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+// ---- Interpretation ----
+
+std::vector<double> parse_number_list(const std::string& text, double unit) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && (text[pos] == ',' || text[pos] == ' ')) ++pos;
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ',' && text[end] != ' ') ++end;
+    if (end > pos) {
+      double v = 0.0;
+      const auto [p, ec] = std::from_chars(text.data() + pos, text.data() + end, v);
+      if (ec == std::errc{} && p == text.data() + end) out.push_back(v * unit);
+    }
+    pos = end;
+  }
+  return out;
+}
+
+std::optional<CellFunction> function_from_string(const std::string& s) {
+  for (std::uint32_t f = 0; f <= static_cast<std::uint32_t>(CellFunction::kDff); ++f)
+    if (s == to_string(static_cast<CellFunction>(f)))
+      return static_cast<CellFunction>(f);
+  return std::nullopt;
+}
+
+std::optional<NldmTable> table_from_group(const Group& group,
+                                          std::vector<std::string>& warnings,
+                                          const std::string& cell_name) {
+  const auto i1 = group.lists.find("index_1");
+  const auto i2 = group.lists.find("index_2");
+  const auto vals = group.lists.find("values");
+  if (i1 == group.lists.end() || i2 == group.lists.end() || vals == group.lists.end()) {
+    warnings.push_back("cell " + cell_name + ": table missing indices/values");
+    return std::nullopt;
+  }
+  const std::vector<double> slew = parse_number_list(i1->second.at(0), 1e-12);
+  const std::vector<double> cap = parse_number_list(i2->second.at(0), 1e-15);
+  std::vector<double> rows;
+  for (const std::string& row : vals->second) {
+    const std::vector<double> v = parse_number_list(row, 1e-12);
+    rows.insert(rows.end(), v.begin(), v.end());
+  }
+  if (slew.size() < 2 || cap.size() < 2 || rows.size() != slew.size() * cap.size()) {
+    warnings.push_back("cell " + cell_name + ": table shape mismatch");
+    return std::nullopt;
+  }
+  std::size_t k = 0;
+  return NldmTable::characterize(slew, cap,
+                                 [&](double, double) { return rows[k++]; });
+}
+
+}  // namespace
+
+void write_liberty(std::ostream& out, const CellLibrary& library,
+                   const std::string& name) {
+  out << "/* generated by gnntrans */\n";
+  out << "library (" << name << ") {\n";
+  out << "  time_unit : 1ps;\n";
+  out << "  capacitive_load_unit (1, ff);\n";
+  out << "  pulling_resistance_unit : 1ohm;\n\n";
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    const Cell& cell = library.at(i);
+    out << "  cell (" << cell.name << ") {\n";
+    out << "    cell_function : " << to_string(cell.function) << ";\n";
+    out << "    drive_strength : " << cell.drive_strength << ";\n";
+    std::ostringstream res;
+    res.precision(12);
+    res << cell.drive_resistance;
+    out << "    drive_resistance : " << res.str() << ";\n";
+    std::ostringstream cap;
+    cap.precision(12);
+    cap << cell.input_cap * 1e15;
+    out << "    pin (A) {\n      direction : input;\n      capacitance : "
+        << cap.str() << ";\n    }\n";
+    // Subset simplification: tables sit directly under the output pin
+    // (canonical Liberty nests them in a timing() group).
+    out << "    pin (Y) {\n      direction : output;\n";
+    write_table(out, "cell_rise", cell.arc.delay);
+    write_table(out, "rise_transition", cell.arc.output_slew);
+    out << "    }\n";
+    out << "  }\n";
+  }
+  out << "}\n";
+}
+
+std::string to_liberty(const CellLibrary& library) {
+  std::ostringstream out;
+  write_liberty(out, library);
+  return out.str();
+}
+
+LibertyParseResult parse_liberty(std::istream& in) {
+  LibertyParseResult result;
+  Parser parser(in);
+  const std::unique_ptr<Group> top = parser.parse_top();
+  if (top->name != "library") {
+    result.warnings.push_back("top-level group is '" + top->name + "', expected 'library'");
+    return result;
+  }
+
+  for (const auto& child : top->children) {
+    if (child->name != "cell") continue;
+    if (child->args.empty()) {
+      result.warnings.push_back("cell group without a name; skipped");
+      continue;
+    }
+    Cell cell;
+    cell.name = child->args.front();
+
+    const auto fn_attr = child->attributes.find("cell_function");
+    const auto function = fn_attr != child->attributes.end()
+                              ? function_from_string(fn_attr->second)
+                              : std::nullopt;
+    if (!function) {
+      result.warnings.push_back("cell " + cell.name + ": unknown function; skipped");
+      continue;
+    }
+    cell.function = *function;
+
+    if (const auto it = child->attributes.find("drive_strength");
+        it != child->attributes.end())
+      cell.drive_strength = static_cast<std::uint32_t>(std::atoi(it->second.c_str()));
+    if (const auto it = child->attributes.find("drive_resistance");
+        it != child->attributes.end())
+      cell.drive_resistance = std::atof(it->second.c_str());
+
+    std::optional<NldmTable> delay, transition;
+    for (const auto& pin : child->children) {
+      if (pin->name != "pin") continue;
+      const auto dir = pin->attributes.find("direction");
+      if (dir != pin->attributes.end() && dir->second == "input") {
+        if (const auto it = pin->attributes.find("capacitance");
+            it != pin->attributes.end())
+          cell.input_cap = std::atof(it->second.c_str()) * 1e-15;
+      } else {
+        if (const Group* rise = pin->child("cell_rise"))
+          delay = table_from_group(*rise, result.warnings, cell.name);
+        if (const Group* tran = pin->child("rise_transition"))
+          transition = table_from_group(*tran, result.warnings, cell.name);
+      }
+    }
+    if (!delay || !transition) {
+      result.warnings.push_back("cell " + cell.name + ": missing timing tables; skipped");
+      continue;
+    }
+    cell.arc.delay = std::move(*delay);
+    cell.arc.output_slew = std::move(*transition);
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+CellLibrary library_from_cells(std::vector<Cell> cells) {
+  return CellLibrary::from_cells(std::move(cells));
+}
+
+}  // namespace gnntrans::cell

@@ -1,0 +1,56 @@
+/// \file liberty.hpp
+/// Liberty-subset (.lib) writer and parser for cell libraries.
+///
+/// Real flows characterize cells into Liberty files; the paper's gate timing
+/// comes from "lookup tables in cell libraries". This module round-trips the
+/// synthetic library through the Liberty group syntax so users can inspect it
+/// with standard tooling or substitute their own characterization:
+///
+///   library (name) {
+///     cell (INV_X1) {
+///       drive_strength : 1;
+///       pin (A) { direction : input; capacitance : <ff>; }
+///       pin (Y) {
+///         direction : output;
+///         timing () {
+///           cell_rise (tbl) { index_1(...); index_2(...); values(...); }
+///           rise_transition (tbl) { ... }
+///         }
+///       }
+///     }
+///   }
+///
+/// Units: time ps, capacitance fF, resistance ohm (recorded in the header).
+/// Unknown groups/attributes are skipped with a warning, as a real reader
+/// must.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+
+namespace gnntrans::cell {
+
+/// Writes \p library in the Liberty subset.
+void write_liberty(std::ostream& out, const CellLibrary& library,
+                   const std::string& name = "gnntrans");
+
+/// Convenience: Liberty text of \p library.
+[[nodiscard]] std::string to_liberty(const CellLibrary& library);
+
+/// Parse outcome.
+struct LibertyParseResult {
+  std::vector<Cell> cells;
+  std::vector<std::string> warnings;
+};
+
+/// Parses a Liberty-subset document. Malformed cells are dropped with a
+/// warning; a syntactically broken stream throws std::runtime_error.
+[[nodiscard]] LibertyParseResult parse_liberty(std::istream& in);
+
+/// Builds a CellLibrary from parsed cells (order preserved).
+[[nodiscard]] CellLibrary library_from_cells(std::vector<Cell> cells);
+
+}  // namespace gnntrans::cell

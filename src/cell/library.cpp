@@ -1,0 +1,146 @@
+#include "cell/library.hpp"
+
+#include <cmath>
+
+namespace gnntrans::cell {
+
+const char* to_string(CellFunction fn) {
+  switch (fn) {
+    case CellFunction::kInv: return "INV";
+    case CellFunction::kBuf: return "BUF";
+    case CellFunction::kNand2: return "NAND2";
+    case CellFunction::kNor2: return "NOR2";
+    case CellFunction::kAnd2: return "AND2";
+    case CellFunction::kOr2: return "OR2";
+    case CellFunction::kXor2: return "XOR2";
+    case CellFunction::kAoi21: return "AOI21";
+    case CellFunction::kMux2: return "MUX2";
+    case CellFunction::kDff: return "DFF";
+  }
+  return "?";
+}
+
+bool is_sequential(CellFunction fn) noexcept { return fn == CellFunction::kDff; }
+
+std::uint32_t input_count(CellFunction fn) noexcept {
+  switch (fn) {
+    case CellFunction::kInv:
+    case CellFunction::kBuf:
+    case CellFunction::kDff:
+      return 1;
+    case CellFunction::kNand2:
+    case CellFunction::kNor2:
+    case CellFunction::kAnd2:
+    case CellFunction::kOr2:
+    case CellFunction::kXor2:
+      return 2;
+    case CellFunction::kAoi21:
+    case CellFunction::kMux2:
+      return 3;
+  }
+  return 1;
+}
+
+namespace {
+
+/// Per-function complexity factor scaling intrinsic delay and drive R.
+double complexity(CellFunction fn) {
+  switch (fn) {
+    case CellFunction::kInv: return 1.0;
+    case CellFunction::kBuf: return 1.4;
+    case CellFunction::kNand2: return 1.3;
+    case CellFunction::kNor2: return 1.5;
+    case CellFunction::kAnd2: return 1.6;
+    case CellFunction::kOr2: return 1.7;
+    case CellFunction::kXor2: return 2.2;
+    case CellFunction::kAoi21: return 1.9;
+    case CellFunction::kMux2: return 2.0;
+    case CellFunction::kDff: return 2.6;
+  }
+  return 1.0;
+}
+
+Cell make_cell(CellFunction fn, std::uint32_t drive) {
+  Cell c;
+  c.function = fn;
+  c.drive_strength = drive;
+  c.name = std::string(to_string(fn)) + "_X" + std::to_string(drive);
+
+  const double comp = complexity(fn);
+  // Base drive resistance of an X1 inverter; stronger drives scale it down,
+  // complex functions scale it up (stacked transistors). Sized so that on
+  // typical nets the *wire* RC, not the driver, dominates slew degradation —
+  // the regime sign-off wire timing actually targets.
+  constexpr double kBaseDriveRes = 200.0;  // ohms
+  c.drive_resistance = kBaseDriveRes * comp / static_cast<double>(drive);
+  // Input pin cap grows with drive strength (wider input transistors).
+  c.input_cap = 0.9e-15 * comp * (0.6 + 0.4 * static_cast<double>(drive));
+
+  const double t_int = 4.0e-12 * comp;  // intrinsic delay
+  const double r_eff = c.drive_resistance;
+
+  // Physically-shaped NLDM surfaces. The sqrt cross-term puts genuine
+  // curvature into the table so interpolation is actually exercised.
+  auto delay_fn = [t_int, r_eff](double slew, double cap) {
+    return t_int + 0.69 * r_eff * cap + 0.18 * slew +
+           0.10 * std::sqrt(slew * 0.69 * r_eff * cap);
+  };
+  auto slew_fn = [r_eff](double slew, double cap) {
+    const double rc = 1.1 * r_eff * cap;
+    return std::sqrt(rc * rc + 0.12 * slew * slew) + 2.0e-12;
+  };
+
+  const std::vector<double> slew_axis = {5e-12,  10e-12, 20e-12, 40e-12,
+                                         80e-12, 160e-12, 320e-12};
+  const std::vector<double> cap_axis = {0.5e-15, 1e-15, 2e-15, 5e-15,
+                                        10e-15,  20e-15, 50e-15};
+  c.arc.delay = NldmTable::characterize(slew_axis, cap_axis, delay_fn);
+  c.arc.output_slew = NldmTable::characterize(slew_axis, cap_axis, slew_fn);
+  return c;
+}
+
+}  // namespace
+
+CellLibrary CellLibrary::make_default() {
+  CellLibrary lib;
+  const struct {
+    CellFunction fn;
+    std::vector<std::uint32_t> drives;
+  } plan[] = {
+      {CellFunction::kInv, {1, 2, 4, 8}},  {CellFunction::kBuf, {1, 2, 4, 8}},
+      {CellFunction::kNand2, {1, 2, 4}},   {CellFunction::kNor2, {1, 2, 4}},
+      {CellFunction::kAnd2, {1, 2}},       {CellFunction::kOr2, {1, 2}},
+      {CellFunction::kXor2, {1, 2}},       {CellFunction::kAoi21, {1, 2}},
+      {CellFunction::kMux2, {1, 2}},       {CellFunction::kDff, {1, 2}},
+  };
+  for (const auto& entry : plan)
+    for (std::uint32_t d : entry.drives) {
+      lib.cells_.push_back(make_cell(entry.fn, d));
+      const std::size_t idx = lib.cells_.size() - 1;
+      if (is_sequential(entry.fn))
+        lib.sequential_.push_back(idx);
+      else
+        lib.combinational_.push_back(idx);
+    }
+  return lib;
+}
+
+CellLibrary CellLibrary::from_cells(std::vector<Cell> cells) {
+  CellLibrary lib;
+  lib.cells_ = std::move(cells);
+  for (std::size_t i = 0; i < lib.cells_.size(); ++i) {
+    if (is_sequential(lib.cells_[i].function))
+      lib.sequential_.push_back(i);
+    else
+      lib.combinational_.push_back(i);
+  }
+  return lib;
+}
+
+std::optional<std::size_t> CellLibrary::find(std::string_view name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].name == name) return i;
+  return std::nullopt;
+}
+
+}  // namespace gnntrans::cell

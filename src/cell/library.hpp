@@ -1,0 +1,77 @@
+/// \file library.hpp
+/// Synthetic standard-cell library (the TSMC16 NLDM substitute, DESIGN.md §1).
+///
+/// A small family of combinational cells and a flip-flop, each at several
+/// drive strengths, with physically-shaped NLDM surfaces: delay grows with
+/// R_eff * C_load and with input slew; output slew tracks the RC corner.
+/// The functional and drive encodings feed the paper's path features
+/// ("dir./func. of drive cell" and "dir./func. of load cell", Table I).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cell/nldm.hpp"
+
+namespace gnntrans::cell {
+
+/// Logical function of a cell (also its numeric feature encoding).
+enum class CellFunction : std::uint32_t {
+  kInv = 0,
+  kBuf = 1,
+  kNand2 = 2,
+  kNor2 = 3,
+  kAnd2 = 4,
+  kOr2 = 5,
+  kXor2 = 6,
+  kAoi21 = 7,
+  kMux2 = 8,
+  kDff = 9,
+};
+
+[[nodiscard]] const char* to_string(CellFunction fn);
+[[nodiscard]] bool is_sequential(CellFunction fn) noexcept;
+/// Data input pin count (DFF counts its D pin).
+[[nodiscard]] std::uint32_t input_count(CellFunction fn) noexcept;
+
+/// One library cell.
+struct Cell {
+  std::string name;             ///< e.g. "NAND2_X2"
+  CellFunction function = CellFunction::kInv;
+  std::uint32_t drive_strength = 1;  ///< 1, 2, 4, 8
+  double input_cap = 0.0;            ///< farads per input pin
+  double drive_resistance = 0.0;     ///< ohms; drives the wire simulator
+  TimingArc arc;                     ///< worst-case input-to-output arc
+};
+
+/// Immutable collection of cells.
+class CellLibrary {
+ public:
+  /// Builds the default synthetic library (deterministic).
+  [[nodiscard]] static CellLibrary make_default();
+
+  /// Builds a library from externally characterized cells (e.g. Liberty).
+  [[nodiscard]] static CellLibrary from_cells(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] const Cell& at(std::size_t index) const { return cells_.at(index); }
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view name) const;
+
+  /// Indices of combinational cells / flip-flops.
+  [[nodiscard]] const std::vector<std::size_t>& combinational() const noexcept {
+    return combinational_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& sequential() const noexcept {
+    return sequential_;
+  }
+
+ private:
+  std::vector<Cell> cells_;
+  std::vector<std::size_t> combinational_;
+  std::vector<std::size_t> sequential_;
+};
+
+}  // namespace gnntrans::cell

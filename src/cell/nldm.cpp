@@ -1,0 +1,55 @@
+#include "cell/nldm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gnntrans::cell {
+
+NldmTable NldmTable::characterize(std::vector<double> slew_axis,
+                                  std::vector<double> cap_axis,
+                                  const std::function<double(double, double)>& fn) {
+  if (slew_axis.size() < 2 || cap_axis.size() < 2)
+    throw std::invalid_argument("NldmTable: axes need at least 2 points");
+  if (!std::is_sorted(slew_axis.begin(), slew_axis.end()) ||
+      !std::is_sorted(cap_axis.begin(), cap_axis.end()))
+    throw std::invalid_argument("NldmTable: axes must be increasing");
+
+  NldmTable t;
+  t.slew_axis_ = std::move(slew_axis);
+  t.cap_axis_ = std::move(cap_axis);
+  t.values_.reserve(t.slew_axis_.size() * t.cap_axis_.size());
+  for (double s : t.slew_axis_)
+    for (double c : t.cap_axis_) t.values_.push_back(fn(s, c));
+  return t;
+}
+
+namespace {
+
+/// Finds the cell index i such that axis[i] <= q <= axis[i+1], clamped.
+std::size_t bracket(const std::vector<double>& axis, double q) {
+  if (q <= axis.front()) return 0;
+  if (q >= axis[axis.size() - 2]) return axis.size() - 2;
+  const auto it = std::upper_bound(axis.begin(), axis.end(), q);
+  return static_cast<std::size_t>(it - axis.begin()) - 1;
+}
+
+}  // namespace
+
+double NldmTable::lookup(double input_slew, double load_cap) const {
+  assert(!values_.empty());
+  const std::size_t i = bracket(slew_axis_, input_slew);
+  const std::size_t j = bracket(cap_axis_, load_cap);
+
+  const double s0 = slew_axis_[i], s1 = slew_axis_[i + 1];
+  const double c0 = cap_axis_[j], c1 = cap_axis_[j + 1];
+  const double ts = (input_slew - s0) / (s1 - s0);
+  const double tc = (load_cap - c0) / (c1 - c0);
+
+  const double v00 = at(i, j), v01 = at(i, j + 1);
+  const double v10 = at(i + 1, j), v11 = at(i + 1, j + 1);
+  return v00 * (1 - ts) * (1 - tc) + v01 * (1 - ts) * tc + v10 * ts * (1 - tc) +
+         v11 * ts * tc;
+}
+
+}  // namespace gnntrans::cell

@@ -1,0 +1,48 @@
+/// \file nldm.hpp
+/// Non-Linear Delay Model lookup tables (Liberty-style).
+///
+/// Gate timing in the paper comes from "interpolating look-up tables in cell
+/// libraries"; this is that machinery: 2-D tables indexed by input slew and
+/// output load capacitance, evaluated by bilinear interpolation with clamped
+/// extrapolation outside the characterized grid (matching common STA tools).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace gnntrans::cell {
+
+/// One characterized 2-D table: rows = input slew axis, cols = load cap axis.
+class NldmTable {
+ public:
+  NldmTable() = default;
+
+  /// Builds a table by sampling \p fn on the axis grid.
+  /// Axes must be strictly increasing with at least 2 points each.
+  static NldmTable characterize(std::vector<double> slew_axis,
+                                std::vector<double> cap_axis,
+                                const std::function<double(double, double)>& fn);
+
+  /// Bilinear interpolation; queries outside the grid clamp to the border
+  /// cell and extrapolate linearly along the in-range axis.
+  [[nodiscard]] double lookup(double input_slew, double load_cap) const;
+
+  [[nodiscard]] const std::vector<double>& slew_axis() const noexcept { return slew_axis_; }
+  [[nodiscard]] const std::vector<double>& cap_axis() const noexcept { return cap_axis_; }
+  [[nodiscard]] double at(std::size_t slew_idx, std::size_t cap_idx) const {
+    return values_[slew_idx * cap_axis_.size() + cap_idx];
+  }
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> cap_axis_;
+  std::vector<double> values_;  ///< row-major [slew][cap]
+};
+
+/// Delay + output-slew table pair for a timing arc.
+struct TimingArc {
+  NldmTable delay;
+  NldmTable output_slew;
+};
+
+}  // namespace gnntrans::cell

@@ -1,0 +1,138 @@
+#include "core/estimator.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace gnntrans::core {
+
+WireTimingEstimator WireTimingEstimator::train(
+    const std::vector<features::WireRecord>& records, Options options) {
+  if (records.empty())
+    throw std::invalid_argument("WireTimingEstimator::train: no records");
+
+  WireTimingEstimator est;
+  est.standardizer_.fit(records);
+
+  options.model.node_feature_dim = features::kNodeFeatureCount;
+  options.model.path_feature_dim = features::kPathFeatureCount;
+  est.model_ = nn::make_model(options.kind, options.model);
+
+  const std::vector<nn::GraphSample> samples =
+      features::make_samples(records, est.standardizer_);
+  est.train_report_ = train_model(*est.model_, samples, options.train);
+  return est;
+}
+
+std::vector<PathEstimate> WireTimingEstimator::estimate(
+    const rcnet::RcNet& net, const features::NetContext& context) const {
+  tensor::NoGradGuard no_grad;
+
+  // Build an unlabeled record: features only, labels zero.
+  features::WireRecord rec;
+  rec.net = net;
+  rec.context = context;
+  rec.raw = features::extract_features(net, context);
+  rec.non_tree = !net.is_tree();
+  rec.slew_labels.assign(rec.raw.analysis.paths.size(), 0.0);
+  rec.delay_labels.assign(rec.raw.analysis.paths.size(), 0.0);
+
+  const nn::GraphSample sample = standardizer_.make_sample(rec);
+  const nn::WirePrediction pred = model_->forward(sample);
+
+  std::vector<PathEstimate> out;
+  out.reserve(sample.path_count);
+  for (std::size_t q = 0; q < sample.path_count; ++q) {
+    PathEstimate pe;
+    pe.sink = rec.raw.analysis.paths[q].sink;
+    pe.slew = standardizer_.unstandardize_slew(pred.slew(q, 0));
+    pe.delay = standardizer_.unstandardize_delay(pred.delay(q, 0));
+    out.push_back(pe);
+  }
+  return out;
+}
+
+Evaluation WireTimingEstimator::evaluate(
+    const std::vector<features::WireRecord>& records) const {
+  const std::vector<nn::GraphSample> samples =
+      features::make_samples(records, standardizer_);
+  return evaluate_model(
+      *model_, samples,
+      [this](double z) { return standardizer_.unstandardize_slew(z); },
+      [this](double z) { return standardizer_.unstandardize_delay(z); });
+}
+
+void WireTimingEstimator::save(std::ostream& out) const {
+  tensor::write_header(out, "GNNTRANS_ESTIMATOR", 1);
+  standardizer_.save(out);
+  nn::save_model(out, *model_);
+}
+
+void WireTimingEstimator::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save(out);
+}
+
+WireTimingEstimator WireTimingEstimator::load(std::istream& in) {
+  tensor::check_header(in, "GNNTRANS_ESTIMATOR", 1);
+  WireTimingEstimator est;
+  est.standardizer_.load(in);
+  est.model_ = nn::load_model(in);
+  return est;
+}
+
+WireTimingEstimator WireTimingEstimator::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load(in);
+}
+
+EstimatorWireSource::EstimatorWireSource(const WireTimingEstimator& estimator,
+                                         const netlist::Design& design,
+                                         const cell::CellLibrary& library)
+    : estimator_(estimator), design_(design), library_(library) {
+  net_by_name_.reserve(design.nets.size());
+  for (std::size_t i = 0; i < design.nets.size(); ++i)
+    net_by_name_.emplace(design.nets[i].rc.name, i);
+}
+
+std::vector<sim::SinkTiming> EstimatorWireSource::time_net(
+    const rcnet::RcNet& net, double input_slew, double driver_resistance) {
+  features::NetContext ctx;
+  ctx.input_slew = input_slew;
+  ctx.driver_resistance = driver_resistance;
+
+  const auto it = net_by_name_.find(net.name);
+  if (it != net_by_name_.end()) {
+    const netlist::DesignNet& dnet = design_.nets[it->second];
+    const cell::Cell& driver =
+        library_.at(design_.instances[dnet.driver].cell_index);
+    ctx.driver_strength = driver.drive_strength;
+    ctx.driver_function = static_cast<std::uint32_t>(driver.function);
+    for (netlist::InstanceId load : dnet.loads) {
+      const cell::Cell& lc = library_.at(design_.instances[load].cell_index);
+      ctx.loads.push_back(
+          {lc.drive_strength, static_cast<std::uint32_t>(lc.function), lc.input_cap});
+    }
+  } else {
+    // Unknown net (standalone use): neutral load context.
+    ctx.loads.assign(net.sinks.size(), features::SinkLoad{});
+  }
+
+  const std::vector<PathEstimate> estimates = estimator_.estimate(net, ctx);
+  std::vector<sim::SinkTiming> out;
+  out.reserve(estimates.size());
+  for (const PathEstimate& pe : estimates) {
+    sim::SinkTiming st;
+    st.sink = pe.sink;
+    st.delay = pe.delay;
+    st.slew = std::max(1e-12, pe.slew);  // guard downstream NLDM lookups
+    st.settled = true;
+    out.push_back(st);
+  }
+  return out;
+}
+
+}  // namespace gnntrans::core

@@ -1,0 +1,101 @@
+/// \file estimator.hpp
+/// The library's headline deliverable: a trained, serializable wire timing
+/// estimator that replaces sign-off wire timing inside STA.
+///
+/// Usage:
+///   auto records = features::generate_wire_records(cfg, library);
+///   auto estimator = core::WireTimingEstimator::train(records, options);
+///   auto timing = estimator.estimate(net, context);       // per-path ps
+///   estimator.save("model.bin");  // later: WireTimingEstimator::load(...)
+///
+/// EstimatorWireSource adapts a trained estimator to the STA engine, enabling
+/// the paper's Table V flow (gate NLDM + learned wire timing).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "features/dataset.hpp"
+#include "netlist/sta.hpp"
+#include "nn/models.hpp"
+
+namespace gnntrans::core {
+
+/// Per-path estimate in seconds.
+struct PathEstimate {
+  rcnet::NodeId sink = 0;
+  double slew = 0.0;
+  double delay = 0.0;
+};
+
+/// A trained model + its standardizer, bundled for deployment.
+class WireTimingEstimator {
+ public:
+  /// Training options.
+  struct Options {
+    nn::ModelKind kind = nn::ModelKind::kGnnTrans;
+    nn::ModelConfig model;  ///< feature dims are filled in automatically
+    TrainConfig train;
+  };
+
+  /// Fits the standardizer on \p records, instantiates the model, trains it.
+  [[nodiscard]] static WireTimingEstimator train(
+      const std::vector<features::WireRecord>& records, Options options);
+
+  /// Per-path wire timing for one net (inference only, no golden timer).
+  [[nodiscard]] std::vector<PathEstimate> estimate(
+      const rcnet::RcNet& net, const features::NetContext& context) const;
+
+  /// Scores the estimator on labeled records (seconds-space R^2 / max error).
+  [[nodiscard]] Evaluation evaluate(
+      const std::vector<features::WireRecord>& records) const;
+
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static WireTimingEstimator load(std::istream& in);
+  [[nodiscard]] static WireTimingEstimator load_file(const std::string& path);
+
+  [[nodiscard]] const nn::WireModel& model() const { return *model_; }
+  [[nodiscard]] const features::Standardizer& standardizer() const {
+    return standardizer_;
+  }
+  [[nodiscard]] const TrainReport& train_report() const noexcept {
+    return train_report_;
+  }
+
+ private:
+  WireTimingEstimator() = default;
+
+  std::unique_ptr<nn::WireModel> model_;
+  features::Standardizer standardizer_;
+  TrainReport train_report_;
+};
+
+/// Adapts a trained estimator (+ the cell library for load contexts) to the
+/// STA engine's WireTimingSource interface.
+class EstimatorWireSource final : public netlist::WireTimingSource {
+ public:
+  EstimatorWireSource(const WireTimingEstimator& estimator,
+                      const netlist::Design& design,
+                      const cell::CellLibrary& library);
+
+  [[nodiscard]] std::vector<sim::SinkTiming> time_net(
+      const rcnet::RcNet& net, double input_slew,
+      double driver_resistance) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "Estimator(" + estimator_.model().name() + ")";
+  }
+
+ private:
+  const WireTimingEstimator& estimator_;
+  const netlist::Design& design_;
+  const cell::CellLibrary& library_;
+  std::unordered_map<std::string, std::size_t> net_by_name_;
+};
+
+}  // namespace gnntrans::core

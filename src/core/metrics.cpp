@@ -1,0 +1,41 @@
+#include "core/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gnntrans::core {
+
+double r2_score(std::span<const double> prediction, std::span<const double> truth) {
+  assert(prediction.size() == truth.size() && !truth.empty());
+  double mean = 0.0;
+  for (double v : truth) mean += v;
+  mean /= static_cast<double>(truth.size());
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - prediction[i]) * (truth[i] - prediction[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double max_abs_error(std::span<const double> prediction,
+                     std::span<const double> truth) {
+  assert(prediction.size() == truth.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    worst = std::max(worst, std::abs(prediction[i] - truth[i]));
+  return worst;
+}
+
+double mean_abs_error(std::span<const double> prediction,
+                      std::span<const double> truth) {
+  assert(prediction.size() == truth.size() && !truth.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    acc += std::abs(prediction[i] - truth[i]);
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace gnntrans::core

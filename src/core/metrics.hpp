@@ -1,0 +1,24 @@
+/// \file metrics.hpp
+/// Evaluation metrics used throughout the paper: R^2 score and maximum
+/// absolute error (MAE in the paper's Table V nomenclature).
+#pragma once
+
+#include <span>
+
+namespace gnntrans::core {
+
+/// Coefficient of determination: 1 - SS_res / SS_tot. Returns 1.0 on a
+/// perfect fit; can be negative for models worse than the mean predictor.
+/// Requires equal non-empty spans.
+[[nodiscard]] double r2_score(std::span<const double> prediction,
+                              std::span<const double> truth);
+
+/// Maximum absolute error.
+[[nodiscard]] double max_abs_error(std::span<const double> prediction,
+                                   std::span<const double> truth);
+
+/// Mean absolute error.
+[[nodiscard]] double mean_abs_error(std::span<const double> prediction,
+                                    std::span<const double> truth);
+
+}  // namespace gnntrans::core

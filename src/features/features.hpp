@@ -1,0 +1,96 @@
+/// \file features.hpp
+/// Raw node and path features (paper Table I).
+///
+/// Node features (per capacitance): exactly the ten node rows of Table I —
+/// 8 structural values plus the Elmore downstream capacitance and stage
+/// delay. Driver context (input slew, drive cell) enters only through the
+/// *path* features, exactly as in the paper; this asymmetry is what gives
+/// GNNTrans its edge over mean-pooled baselines in Tables III/IV.
+///
+/// Path features (per wire path): input slew, drive-cell strength and
+/// function, load-cell strength and function, load effective capacitance, and
+/// the path's Elmore and D2M delays — plus the impulse-response spread
+/// sqrt(2*m2 - m1^2) at the sink, the classical two-moment *slew* metric from
+/// the same Elmore-moment family Table I draws on (the paper selects features
+/// by "parameter-sweeping experiments"; this one is what such a sweep selects
+/// for the slew target).
+///
+/// "Input/output" node directions follow the shortest-path-tree orientation
+/// away from the source (the paper's stage decomposition).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "rcnet/rcnet.hpp"
+#include "sim/wire_analysis.hpp"
+
+namespace gnntrans::features {
+
+/// Node feature column indices / count.
+enum NodeFeature : std::size_t {
+  kCapValue = 0,
+  kNumInputNodes,
+  kNumOutputNodes,
+  kTotInputCap,
+  kTotOutputCap,
+  kNumConnectedRes,
+  kTotInputRes,
+  kTotOutputRes,
+  kDownstreamCap,
+  kStageDelay,
+  kNodeFeatureCount
+};
+
+/// Path feature column indices / count.
+enum PathFeature : std::size_t {
+  kInputSlew = 0,
+  kDriveStrength,
+  kDriveFunction,
+  kLoadStrength,
+  kLoadFunction,
+  kLoadCeff,
+  kElmoreDelay,
+  kD2mDelay,
+  kImpulseSpread,
+  kPathFeatureCount
+};
+
+/// Load cell attached to one sink.
+struct SinkLoad {
+  std::uint32_t drive_strength = 1;
+  std::uint32_t function = 0;
+  double input_cap = 1e-15;  ///< farads
+};
+
+/// Driver / load / slew context a net is timed under.
+struct NetContext {
+  double input_slew = 4e-11;         ///< seconds (20/80)
+  double driver_resistance = 200.0;  ///< ohms
+  std::uint32_t driver_strength = 1;
+  std::uint32_t driver_function = 0;
+  std::vector<SinkLoad> loads;  ///< aligned with net.sinks
+};
+
+/// Draws a random-but-plausible context from \p library (random driver cell,
+/// lognormal input slew, random load cells).
+[[nodiscard]] NetContext random_context(const cell::CellLibrary& library,
+                                        const rcnet::RcNet& net,
+                                        std::mt19937_64& rng);
+
+/// Raw (unstandardized) feature matrices plus the analysis they came from.
+struct RawFeatures {
+  std::vector<float> x;  ///< [node_count x kNodeFeatureCount], row-major
+  std::vector<float> h;  ///< [path_count x kPathFeatureCount], row-major
+  sim::WireAnalysis analysis;
+};
+
+/// Extracts Table I features for \p net under \p context.
+///
+/// Precondition: net.validate() is empty; context.loads covers net.sinks.
+[[nodiscard]] RawFeatures extract_features(const rcnet::RcNet& net,
+                                           const NetContext& context);
+
+}  // namespace gnntrans::features

@@ -1,0 +1,80 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnntrans::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::matvec(std::span<const double> x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + r * other.cols_;
+      for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double norm2(std::span<const double> x) noexcept {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace gnntrans::linalg

@@ -1,0 +1,99 @@
+#include "linalg/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gnntrans::linalg {
+
+std::optional<LuFactor> LuFactor::factor(Matrix a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest entry in column k at or below row k.
+    std::size_t pivot = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(a(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return std::nullopt;  // singular
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(k, c), a(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+    }
+    const double inv_pivot = 1.0 / a(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a(r, k) * inv_pivot;
+      a(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= factor * a(k, c);
+    }
+  }
+  return LuFactor(std::move(a), std::move(perm));
+}
+
+std::vector<double> LuFactor::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  assert(b.size() == n);
+  std::vector<double> x(n);
+  // Forward substitution with permuted RHS: L y = P b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+std::optional<CholeskyFactor> CholeskyFactor::factor(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0) return std::nullopt;  // not positive definite
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return CholeskyFactor(std::move(l));
+}
+
+std::vector<double> CholeskyFactor::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  assert(b.size() == n);
+  std::vector<double> x(n);
+  // Forward: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * x[j];
+    x[i] = acc / l_(i, i);
+  }
+  // Backward: Lt x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace gnntrans::linalg

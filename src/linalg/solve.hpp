@@ -1,0 +1,56 @@
+/// \file solve.hpp
+/// Direct linear solvers for the MNA timing engines.
+///
+/// The conductance matrix G of a grounded RC net is symmetric positive
+/// definite, so Cholesky (LLt) is the workhorse; LU with partial pivoting is
+/// provided for general systems (e.g. trapezoidal companion matrices with
+/// asymmetric stamping, cross-checks in tests).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gnntrans::linalg {
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Factors P*A = L*U in place. Use solve() repeatedly for multiple RHS.
+class LuFactor {
+ public:
+  /// Factors \p a. Returns std::nullopt if the matrix is numerically singular.
+  [[nodiscard]] static std::optional<LuFactor> factor(Matrix a);
+
+  /// Solves A x = b for x. Requires b.size() == dimension of A.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  LuFactor(Matrix lu, std::vector<std::size_t> perm)
+      : lu_(std::move(lu)), perm_(std::move(perm)) {}
+
+  Matrix lu_;                      ///< packed L (unit diag, below) and U (on/above diag)
+  std::vector<std::size_t> perm_;  ///< row permutation: row i of PA is row perm_[i] of A
+};
+
+/// Cholesky (L*Lt) factorization of a symmetric positive definite matrix.
+class CholeskyFactor {
+ public:
+  /// Factors \p a (only the lower triangle is read). Returns std::nullopt if
+  /// the matrix is not positive definite within roundoff.
+  [[nodiscard]] static std::optional<CholeskyFactor> factor(const Matrix& a);
+
+  /// Solves A x = b for x.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
+
+ private:
+  explicit CholeskyFactor(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;  ///< lower-triangular Cholesky factor
+};
+
+}  // namespace gnntrans::linalg

@@ -1,0 +1,110 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+
+namespace gnntrans::linalg {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t n, std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m;
+  m.n_ = n;
+  m.row_starts_.assign(n + 1, 0);
+  m.col_indices_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    m.row_starts_[r] = m.values_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::size_t col = triplets[i].col;
+      assert(col < n);
+      double acc = 0.0;
+      while (i < triplets.size() && triplets[i].row == r && triplets[i].col == col) {
+        acc += triplets[i].value;
+        ++i;
+      }
+      m.col_indices_.push_back(col);
+      m.values_.push_back(acc);
+    }
+  }
+  m.row_starts_[n] = m.values_.size();
+  return m;
+}
+
+std::vector<double> CsrMatrix::matvec(std::span<const double> x) const {
+  assert(x.size() == n_);
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_starts_[r]; k < row_starts_[r + 1]; ++k)
+      acc += values_[k] * x[col_indices_[k]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t k = row_starts_[r]; k < row_starts_[r + 1]; ++k)
+      if (col_indices_[k] == r) d[r] = values_[k];
+  return d;
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            double tol, std::size_t max_iters) {
+  const std::size_t n = a.size();
+  assert(b.size() == n);
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+
+  std::vector<double> r(b.begin(), b.end());
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Jacobi preconditioner M = diag(A); fall back to identity on zero diagonal.
+  std::vector<double> inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = (std::abs(d) > 1e-300) ? 1.0 / d : 1.0;
+
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  std::vector<double> p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const std::vector<double> ap = a.matvec(p);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // not SPD (or breakdown)
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+
+    result.residual_norm = norm2(r);
+    result.iterations = it + 1;
+    if (result.residual_norm <= tol * b_norm) {
+      result.converged = true;
+      return result;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = norm2(r);
+  return result;
+}
+
+}  // namespace gnntrans::linalg

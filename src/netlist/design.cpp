@@ -1,0 +1,54 @@
+#include "netlist/design.hpp"
+
+namespace gnntrans::netlist {
+
+std::size_t Design::non_tree_net_count() const {
+  std::size_t count = 0;
+  for (const DesignNet& net : nets)
+    if (!net.rc.is_tree()) ++count;
+  return count;
+}
+
+std::vector<std::string> Design::validate() const {
+  std::vector<std::string> errors;
+  if (driven_net.size() != instances.size())
+    errors.push_back("driven_net size mismatch");
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const DesignNet& net = nets[i];
+    if (net.driver >= instances.size())
+      errors.push_back("net " + std::to_string(i) + ": driver out of range");
+    if (net.loads.size() != net.rc.sinks.size())
+      errors.push_back("net " + std::to_string(i) + ": loads/sinks misaligned");
+    for (InstanceId load : net.loads)
+      if (load >= instances.size())
+        errors.push_back("net " + std::to_string(i) + ": load out of range");
+    const auto rc_errors = net.rc.validate();
+    for (const std::string& e : rc_errors)
+      errors.push_back("net " + std::to_string(i) + " rc: " + e);
+  }
+  for (std::size_t i = 0; i < driven_net.size() && i < instances.size(); ++i) {
+    const std::uint32_t n = driven_net[i];
+    if (n != kNoNet) {
+      if (n >= nets.size())
+        errors.push_back("instance " + std::to_string(i) + ": driven_net out of range");
+      else if (nets[n].driver != i)
+        errors.push_back("instance " + std::to_string(i) + ": driven_net back-pointer broken");
+    }
+  }
+  return errors;
+}
+
+DesignStats compute_design_stats(const Design& design,
+                                 const std::vector<bool>& seq_flags) {
+  DesignStats s;
+  s.name = design.name;
+  s.cells = design.cell_count();
+  s.nets = design.net_count();
+  s.non_tree_nets = design.non_tree_net_count();
+  for (bool f : seq_flags)
+    if (f) ++s.ffs;
+  s.constrained_paths = design.endpoints.size();
+  return s;
+}
+
+}  // namespace gnntrans::netlist

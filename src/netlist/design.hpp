@@ -1,0 +1,72 @@
+/// \file design.hpp
+/// Gate-level design representation: instances, logical nets with attached RC
+/// parasitics, timing startpoints and endpoints.
+///
+/// The model is deliberately timing-oriented: every non-endpoint instance
+/// drives exactly one net; a net's sinks map 1:1 onto load instances. This is
+/// the view an STA engine needs and the granularity the paper's Table V
+/// experiment (path arrival time) operates at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::netlist {
+
+using InstanceId = std::uint32_t;
+
+/// One placed cell instance.
+struct Instance {
+  std::uint32_t cell_index = 0;  ///< into the CellLibrary
+  std::uint32_t level = 0;       ///< topological level (0 = startpoints)
+};
+
+/// A logical net with extracted parasitics.
+///
+/// rc.sinks[i] is the RC node where load instance loads[i] connects, so the
+/// two arrays are index-aligned.
+struct DesignNet {
+  rcnet::RcNet rc;
+  InstanceId driver = 0;
+  std::vector<InstanceId> loads;
+};
+
+/// A full design.
+struct Design {
+  std::string name;
+  std::vector<Instance> instances;
+  std::vector<DesignNet> nets;
+  std::vector<InstanceId> startpoints;  ///< FF outputs / primary inputs
+  std::vector<InstanceId> endpoints;    ///< FF data inputs (timing endpoints)
+
+  /// Index of the net driven by each instance (kNoNet for endpoints).
+  std::vector<std::uint32_t> driven_net;
+  static constexpr std::uint32_t kNoNet = static_cast<std::uint32_t>(-1);
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return instances.size(); }
+  [[nodiscard]] std::size_t net_count() const noexcept { return nets.size(); }
+  /// Number of non-tree RC nets.
+  [[nodiscard]] std::size_t non_tree_net_count() const;
+  /// Structural sanity check; empty result means consistent.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Summary row matching the paper's Table II columns.
+struct DesignStats {
+  std::string name;
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  std::size_t non_tree_nets = 0;
+  std::size_t ffs = 0;
+  std::size_t constrained_paths = 0;  ///< "#CPs": timing endpoints
+};
+
+/// Computes Table II statistics for \p design (ffs counted via \p seq_flags,
+/// the per-instance "is sequential" mask).
+[[nodiscard]] DesignStats compute_design_stats(const Design& design,
+                                               const std::vector<bool>& seq_flags);
+
+}  // namespace gnntrans::netlist

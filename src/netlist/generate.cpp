@@ -1,0 +1,158 @@
+#include "netlist/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace gnntrans::netlist {
+
+namespace {
+
+std::uint32_t uniform_u32(std::mt19937_64& rng, std::uint32_t lo, std::uint32_t hi) {
+  std::uniform_int_distribution<std::uint32_t> dist(lo, hi);
+  return dist(rng);
+}
+
+}  // namespace
+
+Design generate_design(const DesignGenConfig& config,
+                       const cell::CellLibrary& library, std::string name) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  Design design;
+  design.name = std::move(name);
+
+  const auto& comb = library.combinational();
+  const auto& seq = library.sequential();
+
+  // Level 0: launch flip-flops.
+  std::vector<std::vector<InstanceId>> by_level(config.levels + 1);
+  for (std::uint32_t i = 0; i < config.startpoints; ++i) {
+    Instance inst;
+    inst.cell_index = static_cast<std::uint32_t>(seq[i % seq.size()]);
+    inst.level = 0;
+    design.instances.push_back(inst);
+    by_level[0].push_back(static_cast<InstanceId>(design.instances.size() - 1));
+    design.startpoints.push_back(by_level[0].back());
+  }
+
+  // Combinational levels; record the chosen fanin drivers per instance.
+  std::vector<std::vector<InstanceId>> fanin(design.instances.size());
+  auto pick_driver = [&](std::uint32_t level) -> InstanceId {
+    std::uint32_t src_level = level - 1;
+    if (level > 1 && coin(rng) >= config.locality)
+      src_level = uniform_u32(rng, 0, level - 1);
+    const auto& pool = by_level[src_level];
+    return pool[uniform_u32(rng, 0, static_cast<std::uint32_t>(pool.size() - 1))];
+  };
+
+  for (std::uint32_t level = 1; level <= config.levels; ++level) {
+    const std::uint32_t width = std::max<std::uint32_t>(
+        2, config.cells_per_level + uniform_u32(rng, 0, config.cells_per_level / 3) -
+               config.cells_per_level / 6);
+    for (std::uint32_t i = 0; i < width; ++i) {
+      Instance inst;
+      inst.cell_index = static_cast<std::uint32_t>(
+          comb[uniform_u32(rng, 0, static_cast<std::uint32_t>(comb.size() - 1))]);
+      inst.level = level;
+      design.instances.push_back(inst);
+      const auto id = static_cast<InstanceId>(design.instances.size() - 1);
+      by_level[level].push_back(id);
+      fanin.emplace_back();
+
+      const std::uint32_t inputs =
+          cell::input_count(library.at(inst.cell_index).function);
+      for (std::uint32_t k = 0; k < inputs; ++k)
+        fanin[id].push_back(pick_driver(level));
+    }
+  }
+
+  // Invert fanin into per-driver load lists.
+  std::vector<std::vector<InstanceId>> loads(design.instances.size());
+  for (InstanceId v = 0; v < design.instances.size(); ++v)
+    for (InstanceId u : fanin[v]) loads[u].push_back(v);
+
+  // Capture FFs: terminate every dangling output (endpoints of timing paths).
+  const std::size_t pre_capture = design.instances.size();
+  for (InstanceId u = 0; u < pre_capture; ++u) {
+    if (!loads[u].empty()) continue;
+    Instance ff;
+    ff.cell_index = static_cast<std::uint32_t>(seq[u % seq.size()]);
+    ff.level = config.levels + 1;
+    design.instances.push_back(ff);
+    loads.emplace_back();
+    const auto id = static_cast<InstanceId>(design.instances.size() - 1);
+    loads[u].push_back(id);
+    design.endpoints.push_back(id);
+  }
+
+  // Materialize nets with parasitics; loads align with rc.sinks by index.
+  design.driven_net.assign(design.instances.size(), Design::kNoNet);
+  for (InstanceId u = 0; u < design.instances.size(); ++u) {
+    if (loads[u].empty()) continue;  // capture FFs drive nothing
+    DesignNet net;
+    net.driver = u;
+    net.loads = loads[u];
+    net.rc = rcnet::generate_net_for_fanout(
+        config.net_config, rng, design.name + "/n" + std::to_string(u),
+        static_cast<std::uint32_t>(loads[u].size()));
+    design.driven_net[u] = static_cast<std::uint32_t>(design.nets.size());
+    design.nets.push_back(std::move(net));
+  }
+  return design;
+}
+
+std::vector<bool> sequential_flags(const Design& design,
+                                   const cell::CellLibrary& library) {
+  std::vector<bool> flags(design.instances.size(), false);
+  for (std::size_t i = 0; i < design.instances.size(); ++i)
+    flags[i] = cell::is_sequential(library.at(design.instances[i].cell_index).function);
+  return flags;
+}
+
+std::vector<BenchmarkSpec> paper_benchmarks(double scale) {
+  // (name, training?, paper cell count, paper non-tree net fraction).
+  const struct Row {
+    const char* name;
+    bool training;
+    std::size_t paper_cells;
+    double non_tree_fraction;
+  } rows[] = {
+      {"PCI_BRIDGE", true, 1234, 0.17},   {"DMA", true, 10215, 0.18},
+      {"B19", true, 33785, 0.26},         {"SALSA", true, 52895, 0.29},
+      {"RocketCore", true, 90859, 0.41},  {"VGA_LCD", true, 56194, 0.36},
+      {"ECG", true, 84127, 0.37},         {"TATE", true, 184601, 0.28},
+      {"JPEG", true, 219064, 0.32},       {"NETCARD", true, 316137, 0.24},
+      {"LEON3MP", true, 341000, 0.24},
+      {"WB_DMA", false, 40962, 0.23},     {"LDPC", false, 39377, 0.24},
+      {"DES_PERT", false, 48289, 0.20},   {"AES-128", false, 113168, 0.47},
+      {"TV_CORE", false, 207414, 0.28},   {"NOVA", false, 141990, 0.26},
+      {"OPENGFX", false, 219064, 0.27},
+  };
+
+  std::vector<BenchmarkSpec> specs;
+  std::uint64_t seed = 1000;
+  for (const Row& row : rows) {
+    BenchmarkSpec spec;
+    spec.name = row.name;
+    spec.training = row.training;
+    spec.paper_cells = row.paper_cells;
+
+    // Target instance count: paper_cells / 400 at scale 1 (min 60).
+    const double target =
+        std::max(60.0, static_cast<double>(row.paper_cells) / 400.0 * scale);
+    DesignGenConfig& cfg = spec.config;
+    cfg.levels = 5 + static_cast<std::uint32_t>(std::log2(target / 60.0 + 1.0));
+    cfg.cells_per_level = std::max<std::uint32_t>(
+        3, static_cast<std::uint32_t>(target * 0.82 / cfg.levels));
+    cfg.startpoints = std::max<std::uint32_t>(
+        4, static_cast<std::uint32_t>(target * 0.12));
+    cfg.net_config.non_tree_fraction = row.non_tree_fraction;
+    cfg.seed = ++seed * 7919;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace gnntrans::netlist

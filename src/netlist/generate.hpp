@@ -1,0 +1,53 @@
+/// \file generate.hpp
+/// Synthetic design generator (the OpenCores-designs substitute, DESIGN.md §1)
+/// plus presets reproducing the paper's Table II benchmark list at a
+/// CPU-friendly scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/design.hpp"
+#include "rcnet/generate.hpp"
+
+namespace gnntrans::netlist {
+
+/// Knobs controlling design shape.
+struct DesignGenConfig {
+  std::uint32_t startpoints = 24;      ///< level-0 FFs (launch points)
+  std::uint32_t levels = 7;            ///< combinational depth
+  std::uint32_t cells_per_level = 24;  ///< average width
+  /// Probability an input connects to the immediately preceding level
+  /// (otherwise a uniformly random earlier level) — controls path depth.
+  double locality = 0.75;
+  rcnet::NetGenConfig net_config;      ///< per-net parasitic generation
+  std::uint64_t seed = 1;
+};
+
+/// Generates a levelized design. Every non-endpoint instance drives a net
+/// with at least one load; dangling outputs are terminated on capture FFs.
+[[nodiscard]] Design generate_design(const DesignGenConfig& config,
+                                     const cell::CellLibrary& library,
+                                     std::string name);
+
+/// Per-instance "is sequential" mask for \p design under \p library.
+[[nodiscard]] std::vector<bool> sequential_flags(const Design& design,
+                                                 const cell::CellLibrary& library);
+
+/// One Table II benchmark description.
+struct BenchmarkSpec {
+  std::string name;
+  bool training = false;      ///< Table II train/test split
+  std::size_t paper_cells = 0;   ///< paper-reported cell count
+  DesignGenConfig config;        ///< CPU-scaled generation config
+};
+
+/// The paper's 18 benchmarks (11 train + 7 test) with generation configs whose
+/// sizes scale as `paper_cells * scale` (clamped to a usable minimum). A scale
+/// of 1.0 targets roughly paper_cells/400 instances per design, sized for a
+/// single-core box; see EXPERIMENTS.md for the scaling discussion.
+[[nodiscard]] std::vector<BenchmarkSpec> paper_benchmarks(double scale = 1.0);
+
+}  // namespace gnntrans::netlist

@@ -1,0 +1,157 @@
+#include "netlist/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace gnntrans::netlist {
+
+IncrementalSta::IncrementalSta(Design design, const cell::CellLibrary& library,
+                               WireTimingSource& wire_source, StaConfig config)
+    : design_(std::move(design)),
+      library_(library),
+      wire_source_(wire_source),
+      config_(config) {
+  // Seed all state from a full pass.
+  result_ = run_sta(design_, library_, wire_source_, config_);
+
+  const std::size_t n = design_.instances.size();
+  in_arrival_.assign(n, -1.0);
+  in_slew_.assign(n, config_.launch_slew);
+  fanin_pins_.assign(n, {});
+  net_contrib_.assign(design_.nets.size(), {});
+
+  // Rebuild per-pin contributions by re-timing every net once with the
+  // already-known driver timing (the wire source is deterministic).
+  for (std::uint32_t net_idx = 0; net_idx < design_.nets.size(); ++net_idx) {
+    const DesignNet& net = design_.nets[net_idx];
+    const cell::Cell& driver = library_.at(design_.instances[net.driver].cell_index);
+    const std::vector<sim::SinkTiming> sinks =
+        wire_source_.time_net(net.rc, result_.slew[net.driver],
+                              driver.drive_resistance);
+    net_contrib_[net_idx].resize(net.loads.size());
+    for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
+      net_contrib_[net_idx][s].arrival =
+          result_.arrival[net.driver] + sinks[s].delay;
+      net_contrib_[net_idx][s].slew = sinks[s].slew;
+      fanin_pins_[net.loads[s]].push_back(
+          {net_idx, static_cast<std::uint32_t>(s)});
+    }
+  }
+  for (InstanceId v = 0; v < n; ++v) refresh_input(v);
+}
+
+void IncrementalSta::refresh_input(InstanceId load) {
+  double best = -1.0;
+  double best_slew = config_.launch_slew;
+  std::uint32_t best_net = StaResult::kNone;
+  double best_wire = 0.0;
+  for (const FaninPin& pin : fanin_pins_[load]) {
+    const Contribution& c = net_contrib_[pin.net][pin.sink];
+    if (c.arrival > best) {
+      best = c.arrival;
+      best_slew = c.slew;
+      best_net = pin.net;
+      best_wire = c.arrival - result_.arrival[design_.nets[pin.net].driver];
+    }
+  }
+  in_arrival_[load] = best;
+  in_slew_[load] = best_slew;
+  result_.critical_net[load] = best_net;
+  result_.critical_wire_delay[load] = best_wire;
+}
+
+bool IncrementalSta::reevaluate(InstanceId v) {
+  ++total_reevaluations_;
+  const cell::Cell& c = library_.at(design_.instances[v].cell_index);
+  const std::uint32_t net_idx = design_.driven_net[v];
+
+  double new_arrival, new_slew, new_gate;
+  if (net_idx == Design::kNoNet) {
+    // Endpoint.
+    new_arrival = std::max(0.0, in_arrival_[v]);
+    new_slew = in_slew_[v];
+    new_gate = 0.0;
+  } else {
+    const DesignNet& net = design_.nets[net_idx];
+    const bool is_startpoint = in_arrival_[v] < 0.0 && fanin_pins_[v].empty();
+    const double pin_slew = is_startpoint ? config_.launch_slew : in_slew_[v];
+    const double load_cap =
+        nldm_load_cap(design_, library_, net, c, pin_slew, config_);
+    const double pin_arrival = is_startpoint ? 0.0 : std::max(0.0, in_arrival_[v]);
+    new_gate = c.arc.delay.lookup(pin_slew, load_cap);
+    new_arrival = pin_arrival + new_gate;
+    new_slew = c.arc.output_slew.lookup(pin_slew, load_cap);
+  }
+
+  const bool changed = std::abs(new_arrival - result_.arrival[v]) > kTolerance ||
+                       std::abs(new_slew - result_.slew[v]) > kTolerance;
+  result_.arrival[v] = new_arrival;
+  result_.slew[v] = new_slew;
+  result_.gate_delay[v] = new_gate;
+
+  if (net_idx != Design::kNoNet && changed) {
+    const DesignNet& net = design_.nets[net_idx];
+    const std::vector<sim::SinkTiming> sinks =
+        wire_source_.time_net(net.rc, new_slew, c.drive_resistance);
+    for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
+      net_contrib_[net_idx][s].arrival = new_arrival + sinks[s].delay;
+      net_contrib_[net_idx][s].slew = sinks[s].slew;
+    }
+  }
+  return changed;
+}
+
+std::size_t IncrementalSta::swap_cell(InstanceId instance,
+                                      std::uint32_t new_cell_index) {
+  if (instance >= design_.instances.size())
+    throw std::invalid_argument("swap_cell: instance out of range");
+  if (new_cell_index >= library_.size())
+    throw std::invalid_argument("swap_cell: cell index out of range");
+  design_.instances[instance].cell_index = new_cell_index;
+
+  // Level-ordered worklist over the affected cone. The swapped instance's
+  // input cap changed too, so the *driver* of every net feeding it sees a
+  // different load — start from those drivers.
+  auto level_of = [&](InstanceId v) { return design_.instances[v].level; };
+  using Entry = std::pair<std::uint32_t, InstanceId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::vector<bool> queued(design_.instances.size(), false);
+  auto push = [&](InstanceId v) {
+    if (!queued[v]) {
+      queued[v] = true;
+      queue.emplace(level_of(v), v);
+    }
+  };
+  push(instance);
+  for (const FaninPin& pin : fanin_pins_[instance])
+    push(design_.nets[pin.net].driver);
+
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const InstanceId v = queue.top().second;
+    queue.pop();
+    queued[v] = false;
+    refresh_input(v);
+    ++processed;
+    if (!reevaluate(v)) continue;
+    const std::uint32_t net_idx = design_.driven_net[v];
+    if (net_idx == Design::kNoNet) continue;
+    for (InstanceId load : design_.nets[net_idx].loads) push(load);
+  }
+
+  // Refresh the endpoint summary.
+  result_.endpoint_arrival.clear();
+  for (InstanceId e : design_.endpoints)
+    result_.endpoint_arrival.push_back(result_.arrival[e]);
+  return processed;
+}
+
+double IncrementalSta::worst_arrival() const {
+  double worst = 0.0;
+  for (double a : result_.endpoint_arrival) worst = std::max(worst, a);
+  return worst;
+}
+
+}  // namespace gnntrans::netlist

@@ -1,0 +1,117 @@
+#include "netlist/report.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace gnntrans::netlist {
+
+TimingPath trace_critical_path(const Design& design, const StaResult& sta,
+                               InstanceId endpoint) {
+  TimingPath path;
+  path.endpoint = endpoint;
+  path.arrival = sta.arrival[endpoint];
+
+  // Walk critical links backwards: endpoint -> driver -> ... -> launch FF.
+  std::vector<PathStage> reversed;
+  InstanceId v = endpoint;
+  // Guard against malformed traces (at most one stage per instance).
+  for (std::size_t guard = 0; guard <= design.instances.size(); ++guard) {
+    PathStage stage;
+    stage.instance = v;
+    stage.gate_delay = sta.gate_delay[v];
+    stage.arrival = sta.arrival[v];
+    const std::uint32_t in_net = sta.critical_net[v];
+    reversed.push_back(stage);
+    if (in_net == StaResult::kNone) break;  // reached a startpoint
+    // The wire delay into v belongs to the edge from the driver.
+    reversed.back().wire_delay = 0.0;
+    const InstanceId driver = design.nets[in_net].driver;
+    // Record the driver->v hop on the driver's stage when we add it next
+    // loop; remember it here:
+    reversed.back().net = in_net;
+    v = driver;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+
+  // Shift the (net, wire delay) bookkeeping onto the upstream stage: stage i
+  // drives stage i+1 through stage(i+1).net recorded above.
+  for (std::size_t i = 0; i + 1 < reversed.size(); ++i) {
+    reversed[i].net = reversed[i + 1].net;
+    reversed[i].wire_delay = sta.critical_wire_delay[reversed[i + 1].instance];
+  }
+  if (!reversed.empty()) {
+    reversed.back().net = Design::kNoNet;
+    reversed.back().wire_delay = 0.0;
+  }
+  path.stages = std::move(reversed);
+  return path;
+}
+
+std::vector<TimingPath> worst_paths(const Design& design, const StaResult& sta,
+                                    std::size_t k) {
+  std::vector<std::size_t> order(design.endpoints.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sta.endpoint_arrival[a] > sta.endpoint_arrival[b];
+  });
+  std::vector<TimingPath> paths;
+  for (std::size_t i = 0; i < order.size() && i < k; ++i)
+    paths.push_back(trace_critical_path(design, sta, design.endpoints[order[i]]));
+  return paths;
+}
+
+std::string format_path(const Design& design, const cell::CellLibrary& library,
+                        const TimingPath& path) {
+  std::ostringstream out;
+  auto cell_name = [&](InstanceId v) {
+    return library.at(design.instances[v].cell_index).name;
+  };
+  if (path.stages.empty()) return "  <empty path>\n";
+
+  out << "Startpoint: u" << path.stages.front().instance << " ("
+      << cell_name(path.stages.front().instance) << ")\n";
+  out << "Endpoint:   u" << path.endpoint << " (" << cell_name(path.endpoint)
+      << ")\n";
+  char line[128];
+  std::snprintf(line, sizeof(line), "  %-26s %10s %10s\n", "point", "incr(ps)",
+                "path(ps)");
+  out << line;
+
+  double running = 0.0;
+  for (std::size_t i = 0; i < path.stages.size(); ++i) {
+    const PathStage& stage = path.stages[i];
+    running += stage.gate_delay;
+    std::string label = "u" + std::to_string(stage.instance) + "/" +
+                        (i == 0 ? "Q" : (i + 1 == path.stages.size() ? "D" : "Y")) +
+                        " " + cell_name(stage.instance);
+    std::snprintf(line, sizeof(line), "  %-26s %10.2f %10.2f\n", label.c_str(),
+                  stage.gate_delay * 1e12, running * 1e12);
+    out << line;
+    if (stage.net != Design::kNoNet) {
+      running += stage.wire_delay;
+      std::snprintf(line, sizeof(line), "  %-26s %10.2f %10.2f\n",
+                    design.nets[stage.net].rc.name.c_str(),
+                    stage.wire_delay * 1e12, running * 1e12);
+      out << line;
+    }
+  }
+  std::snprintf(line, sizeof(line), "  %-26s %10s %10.2f\n", "data arrival", "",
+                path.arrival * 1e12);
+  out << line;
+  return out.str();
+}
+
+void write_timing_report(std::ostream& out, const Design& design,
+                         const cell::CellLibrary& library, const StaResult& sta,
+                         std::size_t k) {
+  const std::vector<TimingPath> paths = worst_paths(design, sta, k);
+  out << "=== timing report: " << design.name << " (" << paths.size()
+      << " worst paths) ===\n";
+  for (const TimingPath& path : paths) {
+    out << "\n" << format_path(design, library, path);
+  }
+}
+
+}  // namespace gnntrans::netlist

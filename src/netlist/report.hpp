@@ -1,0 +1,60 @@
+/// \file report.hpp
+/// Timing reports: critical path extraction and a PrimeTime-style textual
+/// report_timing view over an StaResult.
+///
+/// The STA records, per instance, the fanin net that determined its arrival;
+/// tracing those links from an endpoint back to a launch FF yields the
+/// critical path with its per-stage gate/wire delay breakdown — the report a
+/// designer reads when deciding what to optimize (the paper's motivating
+/// incremental-optimization loop consumes exactly this).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/design.hpp"
+#include "netlist/sta.hpp"
+
+namespace gnntrans::netlist {
+
+/// One stage of a traced path.
+struct PathStage {
+  InstanceId instance = 0;
+  double gate_delay = 0.0;   ///< seconds through this instance
+  double wire_delay = 0.0;   ///< seconds to the *next* stage's input (0 at end)
+  std::uint32_t net = Design::kNoNet;  ///< net to the next stage
+  double arrival = 0.0;      ///< cumulative arrival at this instance's output
+};
+
+/// A traced source-to-endpoint critical path.
+struct TimingPath {
+  InstanceId endpoint = 0;
+  double arrival = 0.0;  ///< endpoint arrival (D pin)
+  /// Stages, launch FF first, endpoint last.
+  std::vector<PathStage> stages;
+};
+
+/// Traces the critical path into \p endpoint from \p sta.
+/// Precondition: sta was produced by run_sta over \p design.
+[[nodiscard]] TimingPath trace_critical_path(const Design& design,
+                                             const StaResult& sta,
+                                             InstanceId endpoint);
+
+/// The \p k worst (latest-arrival) endpoint paths, worst first.
+[[nodiscard]] std::vector<TimingPath> worst_paths(const Design& design,
+                                                  const StaResult& sta,
+                                                  std::size_t k);
+
+/// Formats one path like a sign-off report_timing block.
+[[nodiscard]] std::string format_path(const Design& design,
+                                      const cell::CellLibrary& library,
+                                      const TimingPath& path);
+
+/// Writes the \p k worst paths to \p out.
+void write_timing_report(std::ostream& out, const Design& design,
+                         const cell::CellLibrary& library, const StaResult& sta,
+                         std::size_t k);
+
+}  // namespace gnntrans::netlist

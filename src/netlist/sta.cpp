@@ -1,0 +1,163 @@
+#include "netlist/sta.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "sim/ceff.hpp"
+
+namespace gnntrans::netlist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Effective load seen by a driver: net wire cap + load pin caps.
+double net_load_cap(const Design& design, const cell::CellLibrary& library,
+                    const DesignNet& net) {
+  double cap = net.rc.total_ground_cap();
+  for (InstanceId load : net.loads)
+    cap += library.at(design.instances[load].cell_index).input_cap;
+  return cap;
+}
+
+/// Shielding-aware load: pi-reduce the wire (with load pin caps folded onto
+/// the sinks) and match average current over the driver transition. One
+/// refinement iteration resolves the transition/Ceff interdependence.
+double net_effective_cap(const Design& design, const cell::CellLibrary& library,
+                         const DesignNet& net, const cell::Cell& driver,
+                         double input_slew) {
+  rcnet::RcNet loaded = net.rc;
+  for (std::size_t s = 0; s < net.loads.size(); ++s)
+    loaded.ground_cap[loaded.sinks[s]] +=
+        library.at(design.instances[net.loads[s]].cell_index).input_cap;
+
+  const sim::PiModel pi = sim::reduce_to_pi(loaded);
+  double transition =
+      driver.arc.output_slew.lookup(input_slew, pi.total_cap()) / 0.6;
+  double ceff = sim::effective_capacitance(pi, transition);
+  // Refine once: a lighter load shortens the transition, which raises Ceff.
+  transition = driver.arc.output_slew.lookup(input_slew, ceff) / 0.6;
+  return sim::effective_capacitance(pi, transition);
+}
+
+}  // namespace
+
+double nldm_load_cap(const Design& design, const cell::CellLibrary& library,
+                     const DesignNet& net, const cell::Cell& driver,
+                     double input_slew, const StaConfig& config) {
+  return config.use_ceff
+             ? net_effective_cap(design, library, net, driver, input_slew)
+             : net_load_cap(design, library, net);
+}
+
+StaResult run_sta(const Design& design, const cell::CellLibrary& library,
+                  WireTimingSource& wire_source, const StaConfig& config) {
+  const std::size_t n = design.instances.size();
+  StaResult result;
+  result.arrival.assign(n, 0.0);
+  result.slew.assign(n, config.launch_slew);
+  result.critical_net.assign(n, StaResult::kNone);
+  result.critical_wire_delay.assign(n, 0.0);
+  result.gate_delay.assign(n, 0.0);
+
+  // Best (latest) arrival seen at each instance's data input so far.
+  std::vector<double> in_arrival(n, -1.0);
+  std::vector<double> in_slew(n, config.launch_slew);
+
+  // Process instances level by level; fanin always comes from lower levels.
+  std::vector<InstanceId> order(n);
+  std::iota(order.begin(), order.end(), InstanceId{0});
+  std::stable_sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
+    return design.instances[a].level < design.instances[b].level;
+  });
+
+  std::vector<bool> is_startpoint(n, false);
+  for (InstanceId s : design.startpoints) is_startpoint[s] = true;
+
+  const auto gate_start = Clock::now();
+  double wire_total = 0.0;
+
+  for (InstanceId v : order) {
+    const cell::Cell& c = library.at(design.instances[v].cell_index);
+    const std::uint32_t net_idx = design.driven_net[v];
+
+    if (net_idx == Design::kNoNet) {
+      // Endpoint: arrival at the D pin is what Table V compares.
+      result.arrival[v] = std::max(0.0, in_arrival[v]);
+      result.slew[v] = in_slew[v];
+      continue;
+    }
+    const DesignNet& net = design.nets[net_idx];
+    const double pin_slew_for_ceff =
+        is_startpoint[v] ? config.launch_slew : in_slew[v];
+    const double load_cap =
+        nldm_load_cap(design, library, net, c, pin_slew_for_ceff, config);
+
+    if (is_startpoint[v]) {
+      // Launch FF: clock-to-q through the NLDM arc under the clock slew.
+      result.gate_delay[v] = c.arc.delay.lookup(config.launch_slew, load_cap);
+      result.arrival[v] = result.gate_delay[v];
+      result.slew[v] = c.arc.output_slew.lookup(config.launch_slew, load_cap);
+    } else {
+      const double pin_arrival = std::max(0.0, in_arrival[v]);
+      const double pin_slew = in_slew[v];
+      result.gate_delay[v] = c.arc.delay.lookup(pin_slew, load_cap);
+      result.arrival[v] = pin_arrival + result.gate_delay[v];
+      result.slew[v] = c.arc.output_slew.lookup(pin_slew, load_cap);
+    }
+
+    // Wire propagation to every load pin.
+    const auto wire_start = Clock::now();
+    const std::vector<sim::SinkTiming> sinks =
+        wire_source.time_net(net.rc, result.slew[v], c.drive_resistance);
+    wire_total += seconds_since(wire_start);
+
+    for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
+      const InstanceId load = net.loads[s];
+      const double arr = result.arrival[v] + sinks[s].delay;
+      if (arr > in_arrival[load]) {
+        in_arrival[load] = arr;
+        in_slew[load] = sinks[s].slew;
+        result.critical_net[load] = net_idx;
+        result.critical_wire_delay[load] = sinks[s].delay;
+      }
+    }
+  }
+
+  result.wire_seconds = wire_total;
+  result.gate_seconds = seconds_since(gate_start) - wire_total;
+
+  result.endpoint_arrival.reserve(design.endpoints.size());
+  for (InstanceId e : design.endpoints)
+    result.endpoint_arrival.push_back(result.arrival[e]);
+  return result;
+}
+
+double count_netlist_paths(const Design& design) {
+  const std::size_t n = design.instances.size();
+  std::vector<double> dp(n, 0.0);
+  for (InstanceId s : design.startpoints) dp[s] = 1.0;
+
+  std::vector<InstanceId> order(n);
+  std::iota(order.begin(), order.end(), InstanceId{0});
+  std::stable_sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
+    return design.instances[a].level < design.instances[b].level;
+  });
+
+  for (InstanceId v : order) {
+    const std::uint32_t net_idx = design.driven_net[v];
+    if (net_idx == Design::kNoNet || dp[v] == 0.0) continue;
+    for (InstanceId load : design.nets[net_idx].loads) dp[load] += dp[v];
+  }
+
+  double total = 0.0;
+  for (InstanceId e : design.endpoints) total += dp[e];
+  return total;
+}
+
+}  // namespace gnntrans::netlist

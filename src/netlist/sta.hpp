@@ -1,0 +1,105 @@
+/// \file sta.hpp
+/// Static timing analysis over a Design: NLDM gate timing + pluggable wire
+/// timing (golden transient sim, learned estimator, or analytical metric).
+///
+/// The wire timing source is the experiment variable of the paper's Table V:
+/// swapping the golden simulator for the GNNTrans estimator must preserve
+/// endpoint arrival times while slashing the wire-timing runtime.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/design.hpp"
+#include "sim/golden.hpp"
+#include "sim/transient.hpp"
+
+namespace gnntrans::netlist {
+
+/// Strategy interface: who computes per-sink wire delay/slew.
+class WireTimingSource {
+ public:
+  virtual ~WireTimingSource() = default;
+
+  /// Returns one SinkTiming per net sink (order matches net.sinks).
+  [[nodiscard]] virtual std::vector<sim::SinkTiming> time_net(
+      const rcnet::RcNet& net, double input_slew, double driver_resistance) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Golden sign-off wire timing (transient simulation with SI).
+class GoldenWireSource final : public WireTimingSource {
+ public:
+  GoldenWireSource() = default;
+  explicit GoldenWireSource(sim::TransientConfig config) : timer_(config) {}
+
+  [[nodiscard]] std::vector<sim::SinkTiming> time_net(
+      const rcnet::RcNet& net, double input_slew,
+      double driver_resistance) override {
+    return timer_.time_net(net, input_slew, driver_resistance).sinks;
+  }
+  [[nodiscard]] std::string name() const override { return "STA-SI(golden)"; }
+  [[nodiscard]] const sim::GoldenStats& stats() const noexcept {
+    return timer_.stats();
+  }
+
+ private:
+  sim::GoldenTimer timer_;
+};
+
+/// STA knobs.
+struct StaConfig {
+  double launch_slew = 3.0e-11;  ///< seconds, clock slew at launch FFs
+  /// Evaluate NLDM arcs against the effective capacitance (pi-model reduction
+  /// + average-current matching) instead of the total load capacitance.
+  /// Resistively shielded nets then stress the driver less — the sign-off
+  /// behaviour — at the cost of one moment solve per net.
+  bool use_ceff = false;
+};
+
+/// Full-design arrival report.
+struct StaResult {
+  /// Arrival / slew at each instance's output (combinational and launch FFs)
+  /// or at its D pin (endpoints). Unreached instances stay at 0.
+  std::vector<double> arrival;
+  std::vector<double> slew;
+  /// Arrival at each endpoint, aligned with design.endpoints.
+  std::vector<double> endpoint_arrival;
+
+  // Critical-path trace (per instance): which fanin determined the arrival.
+  static constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+  /// Net that delivered the critical input (kNone for startpoints).
+  std::vector<std::uint32_t> critical_net;
+  /// Wire delay of the critical sink on that net.
+  std::vector<double> critical_wire_delay;
+  /// Gate delay applied at this instance (clock-to-q for startpoints; 0 for
+  /// endpoints, whose D pin terminates the path).
+  std::vector<double> gate_delay;
+
+  double gate_seconds = 0.0;  ///< wall time in NLDM evaluation + propagation
+  double wire_seconds = 0.0;  ///< wall time inside the wire timing source
+};
+
+/// Propagates arrivals through \p design in level order.
+[[nodiscard]] StaResult run_sta(const Design& design,
+                                const cell::CellLibrary& library,
+                                WireTimingSource& wire_source,
+                                const StaConfig& config = {});
+
+/// Load capacitance the NLDM arc of \p driver sees for \p net under
+/// \p config: total cap + pin caps, or the shielding-aware effective
+/// capacitance when config.use_ceff is set. Shared by run_sta and
+/// IncrementalSta so both load models stay identical.
+[[nodiscard]] double nldm_load_cap(const Design& design,
+                                   const cell::CellLibrary& library,
+                                   const DesignNet& net, const cell::Cell& driver,
+                                   double input_slew, const StaConfig& config);
+
+/// Counts source-to-endpoint paths through the instance DAG (Fig. 2(a));
+/// returned as double because the count grows exponentially with depth.
+[[nodiscard]] double count_netlist_paths(const Design& design);
+
+}  // namespace gnntrans::netlist

@@ -1,0 +1,56 @@
+/// \file verilog.hpp
+/// Structural Verilog-subset writer and parser for gate-level designs.
+///
+/// Together with the SPEF module this forms the standard post-route handoff
+/// pair: Verilog carries connectivity (instances and logical nets), SPEF
+/// carries each net's parasitics. The subset uses named port connections and
+/// one driven net per instance:
+///
+///   module NAME ();
+///     wire n0, n1, ...;
+///     INV_X1 u3 (.A(n1), .Y(n3));
+///     DFF_X1 u0 (.Q(n0));          // launch FF (timing startpoint)
+///     DFF_X1 u9 (.D(n7));          // capture FF (timing endpoint)
+///   endmodule
+///
+/// Net naming: "n<driver instance id>"; instance naming: "u<id>". Parsed
+/// designs carry placeholder parasitics until attach_spef() joins a parsed
+/// SPEF stream by net name (missing nets get a deterministic star fallback).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/design.hpp"
+
+namespace gnntrans::netlist {
+
+/// Writes \p design as a structural Verilog module.
+void write_verilog(std::ostream& out, const Design& design,
+                   const cell::CellLibrary& library);
+
+/// Convenience: Verilog text of \p design.
+[[nodiscard]] std::string to_verilog(const Design& design,
+                                     const cell::CellLibrary& library);
+
+/// Parse outcome. The returned design's nets carry *placeholder* single-R
+/// parasitics (replace them via attach_spef before timing).
+struct VerilogParseResult {
+  Design design;
+  std::vector<std::string> warnings;
+};
+
+/// Parses a Verilog-subset module against \p library (instances with unknown
+/// cell types are dropped with a warning). Recomputes levels topologically.
+[[nodiscard]] VerilogParseResult parse_verilog(std::istream& in,
+                                               const cell::CellLibrary& library);
+
+/// Replaces each design net's parasitics with the SPEF net of the same name.
+/// Nets without a SPEF match (or with mismatched sink counts) keep a
+/// deterministic star-topology fallback and produce a warning.
+void attach_spef(Design& design, const std::vector<rcnet::RcNet>& spef_nets,
+                 std::vector<std::string>* warnings = nullptr);
+
+}  // namespace gnntrans::netlist

@@ -1,0 +1,155 @@
+#include "rcnet/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace gnntrans::rcnet {
+
+namespace {
+
+/// Lognormal sample with the given linear-space mean and log-space sigma.
+double lognormal(std::mt19937_64& rng, double mean, double sigma) {
+  std::normal_distribution<double> gauss(0.0, sigma);
+  // exp(mu + sigma^2/2) == mean  =>  mu = ln(mean) - sigma^2/2.
+  const double mu = std::log(mean) - 0.5 * sigma * sigma;
+  return std::exp(mu + gauss(rng));
+}
+
+std::uint32_t uniform_u32(std::mt19937_64& rng, std::uint32_t lo, std::uint32_t hi) {
+  std::uniform_int_distribution<std::uint32_t> dist(lo, hi);
+  return dist(rng);
+}
+
+double uniform_real(std::mt19937_64& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(rng);
+}
+
+/// Grows a random route-like spanning tree of \p n nodes rooted at node 0.
+/// Returns the (parent) edge list; node i>0 connects to tree[i-1].first.
+std::vector<NodeId> grow_tree(std::mt19937_64& rng, std::uint32_t n,
+                              double chain_bias) {
+  std::vector<NodeId> parent(n, 0);
+  NodeId tip = 0;  // current branch tip, extended with probability chain_bias
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId attach = tip;
+    if (coin(rng) >= chain_bias) attach = uniform_u32(rng, 0, v - 1);
+    parent[v] = attach;
+    tip = v;
+  }
+  return parent;
+}
+
+void add_loop_edges(const NetGenConfig& config, std::mt19937_64& rng, RcNet& net) {
+  const auto n = static_cast<std::uint32_t>(net.node_count());
+  if (n < 4) return;
+  std::set<std::pair<NodeId, NodeId>> existing;
+  for (const Resistor& r : net.resistors)
+    existing.insert(std::minmax(r.a, r.b));
+
+  const std::uint32_t extra = uniform_u32(rng, 1, config.max_extra_edges);
+  for (std::uint32_t k = 0; k < extra; ++k) {
+    // A handful of attempts to find a fresh pair; give up quietly otherwise.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const NodeId a = uniform_u32(rng, 0, n - 1);
+      const NodeId b = uniform_u32(rng, 0, n - 1);
+      if (a == b) continue;
+      const auto key = std::minmax(a, b);
+      if (existing.contains(key)) continue;
+      existing.insert(key);
+      // Loop resistors model redundant route segments: same R distribution.
+      net.resistors.push_back(
+          {key.first, key.second, lognormal(rng, config.r_per_seg_mean, config.r_spread)});
+      break;
+    }
+  }
+}
+
+void add_couplings(const NetGenConfig& config, std::mt19937_64& rng, RcNet& net) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng) >= config.coupling_prob) return;
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    if (v == net.source) continue;
+    if (coin(rng) < config.coupling_density) {
+      CouplingCap c;
+      c.victim_node = v;
+      c.farads = lognormal(rng, config.coupling_cap_mean, 0.5);
+      c.aggressor_seed = rng();
+      net.couplings.push_back(c);
+    }
+  }
+}
+
+RcNet generate_with_counts(const NetGenConfig& config, std::mt19937_64& rng,
+                           std::string name, std::uint32_t n_nodes,
+                           std::uint32_t n_sinks) {
+  RcNet net;
+  net.name = std::move(name);
+  net.source = 0;
+  net.ground_cap.resize(n_nodes);
+  for (double& c : net.ground_cap)
+    c = lognormal(rng, config.c_per_node_mean, config.c_spread);
+
+  const std::vector<NodeId> parent = grow_tree(rng, n_nodes, config.chain_bias);
+  net.resistors.reserve(n_nodes - 1);
+  for (NodeId v = 1; v < n_nodes; ++v)
+    net.resistors.push_back(
+        {parent[v], v, lognormal(rng, config.r_per_seg_mean, config.r_spread)});
+
+  // Sinks prefer leaves (real loads terminate routes); fall back to any
+  // non-source node when the tree has too few leaves.
+  std::vector<bool> has_child(n_nodes, false);
+  for (NodeId v = 1; v < n_nodes; ++v) has_child[parent[v]] = true;
+  std::vector<NodeId> leaves;
+  for (NodeId v = 1; v < n_nodes; ++v)
+    if (!has_child[v]) leaves.push_back(v);
+  std::shuffle(leaves.begin(), leaves.end(), rng);
+
+  const std::uint32_t want =
+      std::min<std::uint32_t>(n_sinks, std::max<std::uint32_t>(1, n_nodes - 1));
+  std::set<NodeId> chosen(leaves.begin(),
+                          leaves.begin() + std::min<std::size_t>(want, leaves.size()));
+  while (chosen.size() < want) {
+    const NodeId v = uniform_u32(rng, 1, n_nodes - 1);
+    chosen.insert(v);
+  }
+  net.sinks.assign(chosen.begin(), chosen.end());
+  for (NodeId s : net.sinks)
+    net.ground_cap[s] +=
+        uniform_real(rng, config.sink_pin_cap_min, config.sink_pin_cap_max);
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng) < config.non_tree_fraction) add_loop_edges(config, rng, net);
+  add_couplings(config, rng, net);
+  return net;
+}
+
+}  // namespace
+
+RcNet generate_net(const NetGenConfig& config, std::mt19937_64& rng,
+                   std::string name) {
+  const std::uint32_t n_nodes =
+      uniform_u32(rng, config.min_nodes, config.max_nodes);
+  const std::uint32_t max_sinks_here = std::min<std::uint32_t>(
+      config.max_sinks, std::max<std::uint32_t>(1, n_nodes / 4));
+  const std::uint32_t n_sinks = uniform_u32(
+      rng, std::min(config.min_sinks, max_sinks_here), max_sinks_here);
+  return generate_with_counts(config, rng, std::move(name), n_nodes, n_sinks);
+}
+
+RcNet generate_net_for_fanout(const NetGenConfig& config, std::mt19937_64& rng,
+                              std::string name, std::uint32_t fanout) {
+  const std::uint32_t sinks = std::max<std::uint32_t>(1, fanout);
+  // Route length (and thus cap count) mirrors standalone nets: a body drawn
+  // from the configured size range plus a few segments per sink, so design
+  // nets carry the same wire-delay weight as the Table III/IV population.
+  const std::uint32_t base = uniform_u32(rng, config.min_nodes, config.max_nodes);
+  const std::uint32_t n_nodes =
+      std::max<std::uint32_t>(sinks + 2, base / 2 + 3 * sinks);
+  return generate_with_counts(config, rng, std::move(name), n_nodes, sinks);
+}
+
+}  // namespace gnntrans::rcnet

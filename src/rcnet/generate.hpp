@@ -1,0 +1,61 @@
+/// \file generate.hpp
+/// Synthetic RC-net topology generator.
+///
+/// Substitutes for StarRC parasitic extraction of routed designs (see
+/// DESIGN.md Sec. 1). Nets are grown as route-like trees (a trunk with
+/// branches), optionally made non-tree by adding loop resistors (redundant
+/// routing), and optionally coupled to aggressor nets through coupling caps.
+/// Distribution defaults are tuned so that per-net cap counts and path counts
+/// match the paper's Fig. 2(b) statistics (paths mostly 10-30, max ~49).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::rcnet {
+
+/// Knobs controlling net shape and electrical values (SI units).
+struct NetGenConfig {
+  // Topology.
+  std::uint32_t min_nodes = 8;
+  std::uint32_t max_nodes = 80;
+  std::uint32_t min_sinks = 1;
+  std::uint32_t max_sinks = 12;
+  /// Probability of extending the current branch tip instead of branching
+  /// from a random node; higher values make longer, more route-like trunks.
+  double chain_bias = 0.65;
+  /// Probability that a generated net receives loop edges (non-tree).
+  double non_tree_fraction = 0.35;
+  /// Maximum number of loop resistors added to a non-tree net. Kept small so
+  /// per-net simple path counts stay in the paper's Fig. 2(b) range (max ~49).
+  std::uint32_t max_extra_edges = 3;
+
+  // Crosstalk.
+  double coupling_prob = 0.55;     ///< probability a net has aggressor coupling
+  double coupling_density = 0.12;  ///< fraction of nodes carrying coupling caps
+
+  // Electrical values.
+  double r_per_seg_mean = 32.0;        ///< ohms per wire segment
+  double r_spread = 0.6;               ///< lognormal sigma of segment R
+  double c_per_node_mean = 2.5e-15;    ///< farads of wire cap per node
+  double c_spread = 0.5;               ///< lognormal sigma of node C
+  double sink_pin_cap_min = 0.5e-15;   ///< farads, load pin cap lower bound
+  double sink_pin_cap_max = 6.0e-15;   ///< farads, load pin cap upper bound
+  double coupling_cap_mean = 0.9e-15;  ///< farads per coupling cap
+};
+
+/// Generates one RC net. The same (config, rng state) always produces the
+/// same net, so callers seed rng for reproducibility.
+[[nodiscard]] RcNet generate_net(const NetGenConfig& config, std::mt19937_64& rng,
+                                 std::string name);
+
+/// Generates a net with exactly \p fanout sinks (node count scaled to fanout);
+/// used by the netlist generator to attach parasitics to logical nets.
+[[nodiscard]] RcNet generate_net_for_fanout(const NetGenConfig& config,
+                                            std::mt19937_64& rng, std::string name,
+                                            std::uint32_t fanout);
+
+}  // namespace gnntrans::rcnet

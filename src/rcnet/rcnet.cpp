@@ -1,0 +1,98 @@
+#include "rcnet/rcnet.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace gnntrans::rcnet {
+
+bool RcNet::is_tree() const {
+  if (node_count() == 0) return false;
+  return resistors.size() == node_count() - 1 && is_connected(*this);
+}
+
+double RcNet::total_ground_cap() const noexcept {
+  return std::accumulate(ground_cap.begin(), ground_cap.end(), 0.0);
+}
+
+double RcNet::total_coupling_cap() const noexcept {
+  double acc = 0.0;
+  for (const CouplingCap& c : couplings) acc += c.farads;
+  return acc;
+}
+
+double RcNet::total_resistance() const noexcept {
+  double acc = 0.0;
+  for (const Resistor& r : resistors) acc += r.ohms;
+  return acc;
+}
+
+std::vector<std::string> RcNet::validate() const {
+  std::vector<std::string> errors;
+  const std::size_t n = node_count();
+  if (n == 0) {
+    errors.push_back("net has no nodes");
+    return errors;
+  }
+  if (source >= n) errors.push_back("source node out of range");
+  if (sinks.empty()) errors.push_back("net has no sinks");
+  for (NodeId s : sinks) {
+    if (s >= n) errors.push_back("sink node out of range");
+    else if (s == source) errors.push_back("sink coincides with source");
+  }
+  for (std::size_t i = 0; i < resistors.size(); ++i) {
+    const Resistor& r = resistors[i];
+    if (r.a >= n || r.b >= n)
+      errors.push_back("resistor " + std::to_string(i) + " endpoint out of range");
+    else if (r.a == r.b)
+      errors.push_back("resistor " + std::to_string(i) + " is a self loop");
+    if (!(r.ohms > 0.0))
+      errors.push_back("resistor " + std::to_string(i) + " has non-positive value");
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(ground_cap[i] > 0.0))
+      errors.push_back("node " + std::to_string(i) + " has non-positive ground cap");
+  for (std::size_t i = 0; i < couplings.size(); ++i) {
+    if (couplings[i].victim_node >= n)
+      errors.push_back("coupling " + std::to_string(i) + " victim out of range");
+    if (!(couplings[i].farads > 0.0))
+      errors.push_back("coupling " + std::to_string(i) + " has non-positive value");
+  }
+  if (errors.empty() && !is_connected(*this))
+    errors.push_back("resistive graph is disconnected");
+  return errors;
+}
+
+Adjacency build_adjacency(const RcNet& net) {
+  Adjacency adj(net.node_count());
+  for (std::size_t i = 0; i < net.resistors.size(); ++i) {
+    const Resistor& r = net.resistors[i];
+    adj[r.a].push_back({r.b, static_cast<std::uint32_t>(i)});
+    adj[r.b].push_back({r.a, static_cast<std::uint32_t>(i)});
+  }
+  return adj;
+}
+
+bool is_connected(const RcNet& net) {
+  const std::size_t n = net.node_count();
+  if (n == 0) return true;
+  const Adjacency adj = build_adjacency(net);
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{net.source < n ? net.source : NodeId{0}};
+  seen[stack.back()] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const Neighbor& nb : adj[v]) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = true;
+        ++visited;
+        stack.push_back(nb.node);
+      }
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace gnntrans::rcnet

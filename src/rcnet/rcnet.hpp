@@ -1,0 +1,86 @@
+/// \file rcnet.hpp
+/// RC net representation: the graph the paper calls G = (V, E, P).
+///
+/// Nodes are grounded parasitic capacitances, edges are parasitic resistances
+/// (paper Sec. II-B). The driver output is the *source* node; load pins are
+/// *sink* nodes. Non-tree nets carry extra resistors forming loops. Coupling
+/// capacitances to aggressor nets provide the "SI mode" noise the golden timer
+/// injects.
+///
+/// All values are SI units: ohms, farads, seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnntrans::rcnet {
+
+using NodeId = std::uint32_t;
+
+/// A parasitic resistance between two internal net nodes.
+struct Resistor {
+  NodeId a = 0;
+  NodeId b = 0;
+  double ohms = 0.0;
+};
+
+/// A coupling capacitance from a victim node to an external aggressor net.
+///
+/// The aggressor is not modeled structurally; its waveform is synthesized at
+/// simulation time from \c aggressor_seed (arrival offset, slew, direction).
+struct CouplingCap {
+  NodeId victim_node = 0;
+  double farads = 0.0;
+  std::uint64_t aggressor_seed = 0;
+};
+
+/// An RC net. Node \c i has grounded capacitance \c ground_cap[i].
+///
+/// Invariants (checked by validate()): source < node_count(), every sink index
+/// is a valid node distinct from the source, every resistor joins two distinct
+/// valid nodes with positive resistance, all ground caps are positive, and the
+/// resistive graph is connected.
+struct RcNet {
+  std::string name;
+  NodeId source = 0;
+  std::vector<NodeId> sinks;
+  std::vector<double> ground_cap;
+  std::vector<Resistor> resistors;
+  std::vector<CouplingCap> couplings;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return ground_cap.size(); }
+
+  /// True iff the resistive graph is a spanning tree (n-1 edges + connected).
+  [[nodiscard]] bool is_tree() const;
+
+  /// Sum of all grounded capacitance, excluding coupling caps.
+  [[nodiscard]] double total_ground_cap() const noexcept;
+
+  /// Sum of coupling capacitance.
+  [[nodiscard]] double total_coupling_cap() const noexcept;
+
+  /// Sum of all resistance values.
+  [[nodiscard]] double total_resistance() const noexcept;
+
+  /// Human-readable structural validation; empty vector means the net is valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Neighbor entry in an adjacency list: the node at the far end of a resistor.
+struct Neighbor {
+  NodeId node = 0;
+  std::uint32_t resistor_index = 0;
+};
+
+/// Adjacency list over the resistive graph; index by NodeId.
+using Adjacency = std::vector<std::vector<Neighbor>>;
+
+/// Builds the resistor adjacency list of \p net.
+[[nodiscard]] Adjacency build_adjacency(const RcNet& net);
+
+/// True iff the resistive graph of \p net is connected (single component
+/// containing every node). An empty net is considered connected.
+[[nodiscard]] bool is_connected(const RcNet& net);
+
+}  // namespace gnntrans::rcnet

@@ -1,0 +1,130 @@
+#include "rcnet/reduce.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace gnntrans::rcnet {
+
+RcNet merge_parallel_resistors(const RcNet& net, std::size_t* merged) {
+  // Sum conductances per unordered endpoint pair.
+  std::map<std::pair<NodeId, NodeId>, double> conductance;
+  for (const Resistor& r : net.resistors)
+    conductance[std::minmax(r.a, r.b)] += 1.0 / r.ohms;
+
+  RcNet out = net;
+  out.resistors.clear();
+  out.resistors.reserve(conductance.size());
+  for (const auto& [pair, g] : conductance)
+    out.resistors.push_back({pair.first, pair.second, 1.0 / g});
+  if (merged) *merged = net.resistors.size() - out.resistors.size();
+  return out;
+}
+
+namespace {
+
+/// One pass of series elimination. On success, replaces \p net, fills
+/// \p pass_map (old id -> new id, kEliminated for removed nodes), and returns
+/// the number of nodes removed.
+std::size_t eliminate_series_once(RcNet& net, std::vector<NodeId>& pass_map) {
+  const std::size_t n = net.node_count();
+  const Adjacency adj = build_adjacency(net);
+
+  std::set<NodeId> protected_nodes{net.source};
+  protected_nodes.insert(net.sinks.begin(), net.sinks.end());
+  for (const CouplingCap& c : net.couplings) protected_nodes.insert(c.victim_node);
+
+  // Pick removable degree-2 nodes; greedy non-adjacent selection keeps the
+  // resistor rewiring of each elimination local to untouched neighbours.
+  std::vector<bool> removed(n, false);
+  std::vector<bool> touched(n, false);
+  struct Elimination {
+    NodeId node, left, right;
+    double r_total;
+  };
+  std::vector<Elimination> eliminations;
+  for (NodeId v = 0; v < n; ++v) {
+    if (adj[v].size() != 2 || protected_nodes.contains(v)) continue;
+    const Neighbor& a = adj[v][0];
+    const Neighbor& b = adj[v][1];
+    if (a.node == b.node) continue;  // both edges to the same neighbour
+    if (touched[v] || touched[a.node] || touched[b.node]) continue;
+    touched[v] = touched[a.node] = touched[b.node] = true;
+    removed[v] = true;
+    eliminations.push_back({v, a.node, b.node,
+                            net.resistors[a.resistor_index].ohms +
+                                net.resistors[b.resistor_index].ohms});
+  }
+  if (eliminations.empty()) return 0;
+
+  // TICER quick rule: split the eliminated node's cap by conductance share.
+  for (const Elimination& e : eliminations) {
+    const Neighbor& a = adj[e.node][0];
+    const Neighbor& b = adj[e.node][1];
+    const double ga = 1.0 / net.resistors[a.resistor_index].ohms;
+    const double gb = 1.0 / net.resistors[b.resistor_index].ohms;
+    const double cap = net.ground_cap[e.node];
+    net.ground_cap[a.node] += cap * ga / (ga + gb);
+    net.ground_cap[b.node] += cap * gb / (ga + gb);
+  }
+
+  pass_map.assign(n, ReductionResult::kEliminated);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v)
+    if (!removed[v]) pass_map[v] = next++;
+
+  RcNet out;
+  out.name = net.name;
+  out.ground_cap.resize(next);
+  for (NodeId v = 0; v < n; ++v)
+    if (!removed[v]) out.ground_cap[pass_map[v]] = net.ground_cap[v];
+  out.source = pass_map[net.source];
+  for (NodeId s : net.sinks) out.sinks.push_back(pass_map[s]);
+  for (const CouplingCap& c : net.couplings)
+    out.couplings.push_back({pass_map[c.victim_node], c.farads, c.aggressor_seed});
+
+  std::set<std::size_t> dropped_resistors;
+  for (const Elimination& e : eliminations) {
+    dropped_resistors.insert(adj[e.node][0].resistor_index);
+    dropped_resistors.insert(adj[e.node][1].resistor_index);
+  }
+  for (std::size_t i = 0; i < net.resistors.size(); ++i) {
+    if (dropped_resistors.contains(i)) continue;
+    const Resistor& r = net.resistors[i];
+    out.resistors.push_back({pass_map[r.a], pass_map[r.b], r.ohms});
+  }
+  for (const Elimination& e : eliminations)
+    out.resistors.push_back({pass_map[e.left], pass_map[e.right], e.r_total});
+
+  net = std::move(out);
+  return eliminations.size();
+}
+
+}  // namespace
+
+ReductionResult reduce_net(const RcNet& net) {
+  ReductionResult result;
+  std::size_t merged = 0;
+  result.net = merge_parallel_resistors(net, &merged);
+  result.merged_resistors = merged;
+
+  result.node_map.resize(net.node_count());
+  std::iota(result.node_map.begin(), result.node_map.end(), NodeId{0});
+
+  std::vector<NodeId> pass_map;
+  while (true) {
+    const std::size_t removed = eliminate_series_once(result.net, pass_map);
+    if (removed == 0) break;
+    for (NodeId& m : result.node_map)
+      if (m != ReductionResult::kEliminated) m = pass_map[m];
+    result.eliminated_nodes += removed;
+    // New parallel pairs can appear when a loop collapses; re-merge.
+    std::size_t merged_now = 0;
+    result.net = merge_parallel_resistors(result.net, &merged_now);
+    result.merged_resistors += merged_now;
+  }
+  return result;
+}
+
+}  // namespace gnntrans::rcnet

@@ -1,0 +1,45 @@
+/// \file reduce.hpp
+/// RC network reduction (TICER-style quick elimination).
+///
+/// Extraction tools emit far more RC nodes than timing needs; reduction
+/// shrinks nets while preserving their low-frequency (delay-relevant)
+/// behaviour. Two passes are provided:
+///  - parallel merge: resistors sharing both endpoints combine conductances;
+///  - series elimination: an internal degree-2 node (not source, not sink,
+///    no coupling) is removed, its resistors summed, and its grounded cap
+///    redistributed to the neighbours proportionally to conductance —
+///    exactly TICER's "quick" rule, which preserves the Elmore delay seen
+///    from the source.
+///
+/// Used by the feature pipeline to bound graph sizes and tested against the
+/// golden simulator (reduced nets must time within tight tolerance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::rcnet {
+
+/// Outcome of a reduction pass.
+struct ReductionResult {
+  RcNet net;
+  /// Maps original node ids to ids in the reduced net; eliminated nodes map
+  /// to kEliminated.
+  std::vector<NodeId> node_map;
+  std::size_t eliminated_nodes = 0;
+  std::size_t merged_resistors = 0;
+
+  static constexpr NodeId kEliminated = static_cast<NodeId>(-1);
+};
+
+/// Combines parallel resistors (same unordered endpoint pair).
+[[nodiscard]] RcNet merge_parallel_resistors(const RcNet& net,
+                                             std::size_t* merged = nullptr);
+
+/// Runs parallel merge + repeated series elimination to a fixed point.
+/// Source, sinks, coupled nodes, and junction nodes are always preserved.
+[[nodiscard]] ReductionResult reduce_net(const RcNet& net);
+
+}  // namespace gnntrans::rcnet

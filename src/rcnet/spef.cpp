@@ -1,0 +1,219 @@
+#include "rcnet/spef.hpp"
+
+#include <charconv>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace gnntrans::rcnet {
+
+namespace {
+
+std::string node_name(const RcNet& net, NodeId v) {
+  return net.name + ":" + std::to_string(v);
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Splits "<net>:<index>" into the index; returns nullopt for foreign names.
+std::optional<NodeId> parse_node_index(std::string_view token,
+                                       std::string_view net_name) {
+  const std::size_t colon = token.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  if (token.substr(0, colon) != net_name) return std::nullopt;
+  const std::string_view idx = token.substr(colon + 1);
+  NodeId v = 0;
+  const auto [ptr, ec] = std::from_chars(idx.data(), idx.data() + idx.size(), v);
+  if (ec != std::errc{} || ptr != idx.data() + idx.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+void write_spef(std::ostream& out, const std::vector<RcNet>& nets) {
+  out << "*SPEF \"IEEE 1481 subset\"\n";
+  out << "*DESIGN \"gnntrans\"\n";
+  out << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
+  for (const RcNet& net : nets) {
+    out << "*D_NET " << net.name << " " << net.total_ground_cap() * 1e15 << "\n";
+    out << "*CONN\n";
+    out << "*I " << node_name(net, net.source) << " I\n";
+    for (NodeId s : net.sinks) out << "*I " << node_name(net, s) << " O\n";
+    out << "*CAP\n";
+    std::size_t cap_id = 1;
+    for (NodeId v = 0; v < net.node_count(); ++v)
+      out << cap_id++ << " " << node_name(net, v) << " "
+          << net.ground_cap[v] * 1e15 << "\n";
+    for (const CouplingCap& c : net.couplings)
+      out << cap_id++ << " " << node_name(net, c.victim_node) << " AGGR:"
+          << c.aggressor_seed << " " << c.farads * 1e15 << "\n";
+    out << "*RES\n";
+    std::size_t res_id = 1;
+    for (const Resistor& r : net.resistors)
+      out << res_id++ << " " << node_name(net, r.a) << " " << node_name(net, r.b)
+          << " " << r.ohms << "\n";
+    out << "*END\n\n";
+  }
+}
+
+std::string to_spef(const RcNet& net) {
+  std::ostringstream out;
+  out.precision(17);
+  write_spef(out, {net});
+  return out.str();
+}
+
+SpefParseResult parse_spef(std::istream& in) {
+  SpefParseResult result;
+  enum class Section { kNone, kConn, kCap, kRes };
+
+  RcNet current;
+  bool in_net = false;
+  bool source_set = false;
+  Section section = Section::kNone;
+  std::map<NodeId, double> caps;  // node index -> ground cap (F)
+
+  auto finish_net = [&] {
+    if (!in_net) return;
+    if (caps.empty()) {
+      result.warnings.push_back("net " + current.name + " has no caps; dropped");
+    } else {
+      // Node indices may be sparse in foreign SPEF; compact them.
+      std::map<NodeId, NodeId> remap;
+      NodeId next = 0;
+      for (const auto& [idx, _] : caps) remap[idx] = next++;
+      RcNet net;
+      net.name = current.name;
+      net.ground_cap.resize(caps.size());
+      for (const auto& [idx, c] : caps) net.ground_cap[remap[idx]] = c;
+      net.source = remap.count(current.source) ? remap[current.source] : 0;
+      for (NodeId s : current.sinks)
+        if (remap.count(s)) net.sinks.push_back(remap[s]);
+      for (const Resistor& r : current.resistors)
+        if (remap.count(r.a) && remap.count(r.b))
+          net.resistors.push_back({remap[r.a], remap[r.b], r.ohms});
+      for (const CouplingCap& c : current.couplings)
+        if (remap.count(c.victim_node))
+          net.couplings.push_back({remap[c.victim_node], c.farads, c.aggressor_seed});
+      if (const auto errors = net.validate(); !errors.empty()) {
+        result.warnings.push_back("net " + net.name + " invalid: " + errors.front());
+      } else {
+        result.nets.push_back(std::move(net));
+      }
+    }
+    current = RcNet{};
+    caps.clear();
+    in_net = false;
+    source_set = false;
+    section = Section::kNone;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string_view head = tokens.front();
+
+    if (head == "*D_NET") {
+      finish_net();
+      if (tokens.size() >= 2) {
+        in_net = true;
+        current.name = std::string(tokens[1]);
+      } else {
+        result.warnings.push_back("*D_NET without a name; skipped");
+      }
+      continue;
+    }
+    if (!in_net) continue;
+
+    if (head == "*CONN") { section = Section::kConn; continue; }
+    if (head == "*CAP")  { section = Section::kCap; continue; }
+    if (head == "*RES")  { section = Section::kRes; continue; }
+    if (head == "*END")  { finish_net(); continue; }
+    if (head.starts_with('*') && head != "*I") { section = Section::kNone; continue; }
+
+    switch (section) {
+      case Section::kConn: {
+        if (head == "*I" && tokens.size() >= 3) {
+          const auto idx = parse_node_index(tokens[1], current.name);
+          if (!idx) break;
+          if (tokens[2] == "I") {
+            current.source = *idx;
+            source_set = true;
+          } else if (tokens[2] == "O") {
+            current.sinks.push_back(*idx);
+          }
+        }
+        break;
+      }
+      case Section::kCap: {
+        // "<id> <node> <value>" (ground) or "<id> <node> <other> <value>" (coupling).
+        if (tokens.size() == 3) {
+          const auto idx = parse_node_index(tokens[1], current.name);
+          const auto value = parse_double(tokens[2]);
+          if (idx && value) caps[*idx] += *value * 1e-15;
+        } else if (tokens.size() == 4) {
+          const auto idx = parse_node_index(tokens[1], current.name);
+          const auto value = parse_double(tokens[3]);
+          if (idx && value) {
+            CouplingCap c;
+            c.victim_node = *idx;
+            c.farads = *value * 1e-15;
+            if (tokens[2].starts_with("AGGR:")) {
+              std::uint64_t seed = 0;
+              const std::string_view s = tokens[2].substr(5);
+              std::from_chars(s.data(), s.data() + s.size(), seed);
+              c.aggressor_seed = seed;
+            }
+            current.couplings.push_back(c);
+          }
+        }
+        break;
+      }
+      case Section::kRes: {
+        if (tokens.size() >= 4) {
+          const auto a = parse_node_index(tokens[1], current.name);
+          const auto b = parse_node_index(tokens[2], current.name);
+          const auto value = parse_double(tokens[3]);
+          if (a && b && value) current.resistors.push_back({*a, *b, *value});
+        }
+        break;
+      }
+      case Section::kNone:
+        break;
+    }
+  }
+  finish_net();
+  if (!source_set && !result.nets.empty()) {
+    // Note: per-net missing-source nets already defaulted to node 0.
+  }
+  return result;
+}
+
+std::optional<RcNet> net_from_spef(const std::string& text) {
+  std::istringstream in(text);
+  SpefParseResult r = parse_spef(in);
+  if (r.nets.empty()) return std::nullopt;
+  return std::move(r.nets.front());
+}
+
+}  // namespace gnntrans::rcnet

@@ -1,0 +1,43 @@
+/// \file spef.hpp
+/// SPEF-subset writer and parser.
+///
+/// Industry flows exchange parasitics via IEEE 1481 SPEF; StarRC (which the
+/// paper uses) emits it. This implements the *D_NET / *CONN / *CAP / *RES
+/// subset sufficient to round-trip every net this library generates, so that
+/// users can feed externally extracted parasitics into the estimator.
+///
+/// Node naming convention: "<net>:<index>"; the source carries direction I
+/// (driver input to the wire) and sinks carry O in the *CONN section.
+/// Coupling caps are written as two-node *CAP entries whose second node is
+/// "AGGR:<seed>".
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::rcnet {
+
+/// Writes \p nets as a SPEF-subset document to \p out.
+void write_spef(std::ostream& out, const std::vector<RcNet>& nets);
+
+/// Convenience: SPEF text for a single net.
+[[nodiscard]] std::string to_spef(const RcNet& net);
+
+/// Parse outcome: nets plus human-readable diagnostics for skipped content.
+struct SpefParseResult {
+  std::vector<RcNet> nets;
+  std::vector<std::string> warnings;
+};
+
+/// Parses a SPEF-subset document. Unknown sections are skipped with a warning;
+/// malformed nets are dropped with a warning rather than aborting the parse.
+[[nodiscard]] SpefParseResult parse_spef(std::istream& in);
+
+/// Convenience: parses SPEF text; returns std::nullopt when no net survives.
+[[nodiscard]] std::optional<RcNet> net_from_spef(const std::string& text);
+
+}  // namespace gnntrans::rcnet

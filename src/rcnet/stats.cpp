@@ -1,0 +1,49 @@
+#include "rcnet/stats.hpp"
+
+#include <algorithm>
+
+#include "rcnet/paths.hpp"
+
+namespace gnntrans::rcnet {
+
+NetStats compute_stats(const RcNet& net) {
+  NetStats s;
+  s.node_count = net.node_count();
+  s.resistor_count = net.resistors.size();
+  s.sink_count = net.sinks.size();
+  s.coupling_count = net.couplings.size();
+  s.simple_path_count = count_simple_paths(net);
+  s.is_tree = net.is_tree();
+  s.total_ground_cap = net.total_ground_cap();
+  s.total_resistance = net.total_resistance();
+  return s;
+}
+
+CollectionStats aggregate_stats(const std::vector<RcNet>& nets,
+                                std::uint64_t path_bucket_width) {
+  CollectionStats agg;
+  agg.path_bucket_width = path_bucket_width;
+  agg.net_count = nets.size();
+  if (nets.empty()) return agg;
+
+  double path_sum = 0.0;
+  double node_sum = 0.0;
+  for (const RcNet& net : nets) {
+    const NetStats s = compute_stats(net);
+    if (!s.is_tree) ++agg.non_tree_count;
+    agg.max_simple_paths = std::max(agg.max_simple_paths, s.simple_path_count);
+    agg.max_nodes = std::max(agg.max_nodes, s.node_count);
+    path_sum += static_cast<double>(s.simple_path_count);
+    node_sum += static_cast<double>(s.node_count);
+
+    const std::size_t bucket =
+        static_cast<std::size_t>(s.simple_path_count / path_bucket_width);
+    if (bucket >= agg.path_histogram.size()) agg.path_histogram.resize(bucket + 1, 0);
+    ++agg.path_histogram[bucket];
+  }
+  agg.mean_simple_paths = path_sum / static_cast<double>(nets.size());
+  agg.mean_nodes = node_sum / static_cast<double>(nets.size());
+  return agg;
+}
+
+}  // namespace gnntrans::rcnet

@@ -1,0 +1,44 @@
+/// \file stats.hpp
+/// Per-net and per-collection structural statistics (Fig. 2(b), Table II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::rcnet {
+
+/// Structural summary of one net.
+struct NetStats {
+  std::size_t node_count = 0;
+  std::size_t resistor_count = 0;
+  std::size_t sink_count = 0;
+  std::size_t coupling_count = 0;
+  std::uint64_t simple_path_count = 0;
+  bool is_tree = false;
+  double total_ground_cap = 0.0;  ///< farads
+  double total_resistance = 0.0;  ///< ohms
+};
+
+/// Computes the structural summary of \p net.
+[[nodiscard]] NetStats compute_stats(const RcNet& net);
+
+/// Aggregate over a collection of nets.
+struct CollectionStats {
+  std::size_t net_count = 0;
+  std::size_t non_tree_count = 0;
+  std::uint64_t max_simple_paths = 0;
+  double mean_simple_paths = 0.0;
+  std::size_t max_nodes = 0;
+  double mean_nodes = 0.0;
+  /// Histogram of simple path counts with bucket width \c path_bucket_width.
+  std::vector<std::size_t> path_histogram;
+  std::uint64_t path_bucket_width = 10;
+};
+
+/// Aggregates statistics over \p nets.
+[[nodiscard]] CollectionStats aggregate_stats(const std::vector<RcNet>& nets,
+                                              std::uint64_t path_bucket_width = 10);
+
+}  // namespace gnntrans::rcnet

@@ -1,0 +1,107 @@
+#include "sim/awe.hpp"
+
+#include <cmath>
+
+namespace gnntrans::sim {
+
+namespace {
+
+constexpr double kLn2 = 0.693147180559945309;
+constexpr double kLn4 = 1.386294361119890618;
+
+/// Single-pole fallback: tau = Elmore delay.
+AweTiming one_pole(double m1) {
+  AweTiming t;
+  t.delay = m1 * kLn2;
+  t.slew = m1 * kLn4 / 0.6;  // t80 - t20 of an exp step is tau*ln4; 20/80 convention
+  t.two_pole = false;
+  return t;
+}
+
+/// Two-pole step response: v(t) = 1 + k1 e^{p1 t} + k2 e^{p2 t}.
+struct TwoPole {
+  double p1, p2, k1, k2;
+  [[nodiscard]] double value(double t) const noexcept {
+    return 1.0 + k1 * std::exp(p1 * t) + k2 * std::exp(p2 * t);
+  }
+};
+
+/// First time v(t) crosses \p threshold, by bracket expansion + bisection.
+double crossing(const TwoPole& model, double threshold, double t_scale) {
+  double lo = 0.0;
+  double hi = t_scale;
+  // Expand until the threshold is bracketed (response is 0 at t=0, ->1).
+  for (int i = 0; i < 64 && model.value(hi) < threshold; ++i) hi *= 2.0;
+  if (model.value(hi) < threshold) return hi;  // never crosses (degenerate)
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.value(mid) < threshold)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+std::vector<AweTiming> awe_two_pole(const Moments& moments) {
+  std::vector<AweTiming> out(moments.m1.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double m1 = moments.m1[i];
+    if (m1 <= 0.0) continue;  // source node: zero timing
+
+    // Signed series coefficients: H(s) = 1 + c1 s + c2 s^2 + c3 s^3.
+    const double c1 = -m1;
+    const double c2 = moments.m2[i];
+    const double c3 = -moments.m3[i];
+
+    // Pade [1/2]: denominator 1 + b1 s + b2 s^2.
+    const double det = c1 * c1 - c2;
+    if (std::abs(det) < 1e-12 * c1 * c1) {
+      out[i] = one_pole(m1);
+      continue;
+    }
+    const double b1 = (c3 - c1 * c2) / det;
+    const double b2 = (c2 * c2 - c1 * c3) / det;
+    const double disc = b1 * b1 - 4.0 * b2;
+    if (!(b2 > 0.0) || disc < 0.0) {
+      out[i] = one_pole(m1);  // complex or unstable poles: fall back
+      continue;
+    }
+    const double root = std::sqrt(disc);
+    const double p1 = (-b1 + root) / (2.0 * b2);
+    const double p2 = (-b1 - root) / (2.0 * b2);
+    if (p1 >= 0.0 || p2 >= 0.0) {
+      out[i] = one_pole(m1);
+      continue;
+    }
+
+    const double a1 = c1 + b1;  // numerator 1 + a1 s
+    TwoPole model;
+    model.p1 = p1;
+    model.p2 = p2;
+    model.k1 = (1.0 + a1 * p1) / (b2 * p1 * (p1 - p2));
+    model.k2 = (1.0 + a1 * p2) / (b2 * p2 * (p2 - p1));
+
+    // Sanity: v(0) should be ~0; otherwise the fit is unusable.
+    if (std::abs(model.value(0.0)) > 0.05) {
+      out[i] = one_pole(m1);
+      continue;
+    }
+
+    const double t50 = crossing(model, 0.5, m1);
+    const double t20 = crossing(model, 0.2, m1);
+    const double t80 = crossing(model, 0.8, m1);
+    out[i].delay = t50;
+    out[i].slew = (t80 - t20) / 0.6;
+    out[i].two_pole = true;
+  }
+  return out;
+}
+
+std::vector<AweTiming> awe_two_pole(const rcnet::RcNet& net) {
+  return awe_two_pole(compute_moments(net));
+}
+
+}  // namespace gnntrans::sim

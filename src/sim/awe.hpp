@@ -1,0 +1,35 @@
+/// \file awe.hpp
+/// Two-pole AWE (Asymptotic Waveform Evaluation) delay/slew metric.
+///
+/// The "complex timing model" family the paper's introduction says cannot
+/// trade accuracy against runtime on large designs: match the first three
+/// voltage-transfer moments (m1, m2, m3) at each node to a two-pole reduced
+/// model and extract 50% delay and 20/80 slew from its step response. More
+/// accurate than Elmore/D2M on resistively-shielded and non-tree nets, and
+/// far cheaper than transient simulation — but, as the paper argues, still
+/// an approximation the learned estimator beats at similar cost.
+#pragma once
+
+#include <vector>
+
+#include "rcnet/rcnet.hpp"
+#include "sim/moments.hpp"
+
+namespace gnntrans::sim {
+
+/// Per-node two-pole estimate.
+struct AweTiming {
+  double delay = 0.0;   ///< seconds, 50% crossing of the step response
+  double slew = 0.0;    ///< seconds, (t80 - t20) / 0.6
+  bool two_pole = false;  ///< false when the fit degenerated to one pole
+};
+
+/// Fits a two-pole model per node from \p moments and solves its threshold
+/// crossings (bisection on the closed-form step response). Nodes with
+/// degenerate moments (the source) yield zeros.
+[[nodiscard]] std::vector<AweTiming> awe_two_pole(const Moments& moments);
+
+/// Convenience: moments + AWE in one call.
+[[nodiscard]] std::vector<AweTiming> awe_two_pole(const rcnet::RcNet& net);
+
+}  // namespace gnntrans::sim

@@ -1,0 +1,71 @@
+#include "sim/ceff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnntrans::sim {
+
+PiModel reduce_to_pi(const rcnet::RcNet& net) {
+  // Driving-point admittance moments from the voltage-transfer moments of the
+  // source's neighbours: with H_j(s) = 1 - m1_j s + m2_j s^2 - m3_j s^3,
+  //   Y(s) = sum_j g_j (1 - H_j(s)) = y1 s + y2 s^2 + y3 s^3 + ...
+  // so y1 = sum g_j m1_j (== C_total), y2 = -sum g_j m2_j, y3 = sum g_j m3_j.
+  const Moments moments = compute_moments(net);
+
+  // The source node's own grounded capacitance loads the driver directly
+  // (it has no transfer function; it *is* the driving point).
+  double source_cap = net.ground_cap[net.source];
+  for (const rcnet::CouplingCap& cc : net.couplings)
+    if (cc.victim_node == net.source) source_cap += cc.farads;
+
+  double y1 = source_cap, y2 = 0.0, y3 = 0.0;
+  for (const rcnet::Resistor& r : net.resistors) {
+    rcnet::NodeId other;
+    if (r.a == net.source)
+      other = r.b;
+    else if (r.b == net.source)
+      other = r.a;
+    else
+      continue;
+    const double g = 1.0 / r.ohms;
+    y1 += g * moments.m1[other];
+    y2 -= g * moments.m2[other];
+    y3 += g * moments.m3[other];
+  }
+
+  PiModel pi;
+  // O'Brien-Savarino: c_far = y2^2 / y3, r = -y3^2 / y2^3,
+  // c_near = y1 - y2^2 / y3. Guard degenerate moment combinations.
+  if (std::abs(y3) > 1e-300 && std::abs(y2) > 1e-300) {
+    const double c_far = y2 * y2 / y3;
+    const double r = -(y3 * y3) / (y2 * y2 * y2);
+    const double c_near = y1 - c_far;
+    if (c_far > 0.0 && r > 0.0 && c_near >= 0.0) {
+      pi.c_far = c_far;
+      pi.r = r;
+      pi.c_near = c_near;
+      return pi;
+    }
+  }
+  // Fallback: everything lumped at the driver.
+  pi.c_near = y1;
+  return pi;
+}
+
+double effective_capacitance(const PiModel& pi, double transition_time) {
+  if (pi.r <= 0.0 || pi.c_far <= 0.0) return pi.total_cap();
+  const double tr = std::max(transition_time, 1e-15);
+  const double tau = pi.r * pi.c_far;
+  // Average-current matching for a ramp of duration tr: the far capacitor
+  // contributes its charge scaled by the fraction delivered inside the ramp,
+  //   k = 1 - (tau / tr) * (1 - exp(-tr / tau)).
+  const double k = 1.0 - (tau / tr) * (1.0 - std::exp(-tr / tau));
+  const double ceff = pi.c_near + k * pi.c_far;
+  return std::clamp(ceff, pi.c_near, pi.total_cap());
+}
+
+double effective_capacitance(const rcnet::RcNet& net, double transition_time) {
+  return effective_capacitance(reduce_to_pi(net), transition_time);
+}
+
+}  // namespace gnntrans::sim

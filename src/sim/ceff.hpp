@@ -1,0 +1,45 @@
+/// \file ceff.hpp
+/// Driver-side load reduction: O'Brien-Savarino pi-model and effective
+/// capacitance.
+///
+/// NLDM gate tables are characterized against a lumped capacitor, but a
+/// resistive net shields part of its capacitance from the driver. Sign-off
+/// timers therefore (1) reduce the net's driving-point admittance to a
+/// three-element pi-model from its first three admittance moments
+/// (O'Brien-Savarino, ICCAD'89) and (2) collapse that pi into the single
+/// "effective capacitance" that draws the same average current over the
+/// output transition (Qian-Pullela-Pillage style). This module implements
+/// both; STA can opt in via StaConfig.
+#pragma once
+
+#include "rcnet/rcnet.hpp"
+#include "sim/moments.hpp"
+
+namespace gnntrans::sim {
+
+/// Three-element pi load: c_near at the driver, then r into c_far.
+struct PiModel {
+  double c_near = 0.0;  ///< farads
+  double r = 0.0;       ///< ohms
+  double c_far = 0.0;   ///< farads
+
+  [[nodiscard]] double total_cap() const noexcept { return c_near + c_far; }
+};
+
+/// Reduces \p net to a pi-model via its driving-point admittance moments
+/// (y1 = total capacitance is preserved exactly). Falls back to a pure
+/// capacitor (r = 0, c_far = 0) when the moments degenerate (e.g. nets whose
+/// resistance is negligible).
+[[nodiscard]] PiModel reduce_to_pi(const rcnet::RcNet& net);
+
+/// Effective capacitance of \p pi for a driver output transition of duration
+/// \p transition_time (seconds, full ramp): matches the average current drawn
+/// over the ramp. Always in [c_near, total_cap].
+[[nodiscard]] double effective_capacitance(const PiModel& pi,
+                                           double transition_time);
+
+/// Convenience: pi reduction + Ceff in one call.
+[[nodiscard]] double effective_capacitance(const rcnet::RcNet& net,
+                                           double transition_time);
+
+}  // namespace gnntrans::sim

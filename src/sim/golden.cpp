@@ -1,0 +1,17 @@
+#include "sim/golden.hpp"
+
+namespace gnntrans::sim {
+
+TransientResult GoldenTimer::time_net(const rcnet::RcNet& net, double input_slew,
+                                      double driver_resistance) {
+  const auto start = std::chrono::steady_clock::now();
+  TransientResult result = simulate(net, config_, input_slew, driver_resistance);
+  const auto end = std::chrono::steady_clock::now();
+
+  ++stats_.nets_timed;
+  stats_.solver_steps += result.steps_executed;
+  stats_.wall_seconds += std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace gnntrans::sim

@@ -1,0 +1,45 @@
+/// \file golden.hpp
+/// Golden "sign-off" wire timer facade with runtime accounting.
+///
+/// Wraps the transient engine so callers (dataset generation, Table V runtime
+/// comparison) have a single object playing PrimeTime-SI's role: it produces
+/// the ground-truth per-sink wire delay/slew and tracks how much work that
+/// costs, which is exactly the cost the learned estimator eliminates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "rcnet/rcnet.hpp"
+#include "sim/transient.hpp"
+
+namespace gnntrans::sim {
+
+/// Accumulated cost of golden timing runs.
+struct GoldenStats {
+  std::uint64_t nets_timed = 0;
+  std::uint64_t solver_steps = 0;
+  double wall_seconds = 0.0;
+};
+
+/// The reference wire timer (see DESIGN.md: PrimeTime-SI substitution).
+class GoldenTimer {
+ public:
+  GoldenTimer() = default;
+  explicit GoldenTimer(TransientConfig config) : config_(config) {}
+
+  /// Times every sink of \p net under the given input slew / drive resistance.
+  [[nodiscard]] TransientResult time_net(const rcnet::RcNet& net,
+                                         double input_slew,
+                                         double driver_resistance = 0.0);
+
+  [[nodiscard]] const TransientConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const GoldenStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = GoldenStats{}; }
+
+ private:
+  TransientConfig config_{};
+  GoldenStats stats_{};
+};
+
+}  // namespace gnntrans::sim

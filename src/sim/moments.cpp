@@ -1,0 +1,147 @@
+#include "sim/moments.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+
+namespace gnntrans::sim {
+
+using rcnet::NodeId;
+using rcnet::RcNet;
+
+namespace {
+
+/// Maps every non-source node to a compact row index; source maps to npos.
+std::vector<std::size_t> reduced_index(const RcNet& net) {
+  std::vector<std::size_t> index(net.node_count(), std::size_t(-1));
+  std::size_t next = 0;
+  for (NodeId v = 0; v < net.node_count(); ++v)
+    if (v != net.source) index[v] = next++;
+  return index;
+}
+
+/// Builds the reduced conductance matrix (source node grounded out).
+linalg::Matrix reduced_conductance(const RcNet& net,
+                                   const std::vector<std::size_t>& index) {
+  const std::size_t m = net.node_count() - 1;
+  linalg::Matrix g(m, m);
+  for (const rcnet::Resistor& r : net.resistors) {
+    const double cond = 1.0 / r.ohms;
+    const std::size_t ia = index[r.a];
+    const std::size_t ib = index[r.b];
+    if (ia != std::size_t(-1)) g(ia, ia) += cond;
+    if (ib != std::size_t(-1)) g(ib, ib) += cond;
+    if (ia != std::size_t(-1) && ib != std::size_t(-1)) {
+      g(ia, ib) -= cond;
+      g(ib, ia) -= cond;
+    }
+  }
+  return g;
+}
+
+/// Node capacitance including grounded coupling caps, in reduced ordering.
+std::vector<double> reduced_caps(const RcNet& net,
+                                 const std::vector<std::size_t>& index) {
+  std::vector<double> c(net.node_count() - 1, 0.0);
+  for (NodeId v = 0; v < net.node_count(); ++v)
+    if (index[v] != std::size_t(-1)) c[index[v]] = net.ground_cap[v];
+  for (const rcnet::CouplingCap& cc : net.couplings)
+    if (index[cc.victim_node] != std::size_t(-1)) c[index[cc.victim_node]] += cc.farads;
+  return c;
+}
+
+}  // namespace
+
+Moments compute_moments(const RcNet& net) {
+  const std::size_t n = net.node_count();
+  assert(n >= 2);
+  const std::vector<std::size_t> index = reduced_index(net);
+  const linalg::Matrix g = reduced_conductance(net, index);
+  const auto chol = linalg::CholeskyFactor::factor(g);
+  if (!chol)
+    throw std::runtime_error("compute_moments: conductance matrix not SPD (net '" +
+                             net.name + "' likely disconnected)");
+
+  const std::vector<double> caps = reduced_caps(net, index);
+
+  // m_{k+1} = G^{-1} (C .* m_k), with m_0 = all-ones.
+  std::vector<double> rhs = caps;  // C .* 1
+  const std::vector<double> m1r = chol->solve(rhs);
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = caps[i] * m1r[i];
+  const std::vector<double> m2r = chol->solve(rhs);
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = caps[i] * m2r[i];
+  const std::vector<double> m3r = chol->solve(rhs);
+
+  Moments out;
+  out.m1.assign(n, 0.0);
+  out.m2.assign(n, 0.0);
+  out.m3.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (index[v] == std::size_t(-1)) continue;
+    out.m1[v] = m1r[index[v]];
+    out.m2[v] = m2r[index[v]];
+    out.m3[v] = m3r[index[v]];
+  }
+  return out;
+}
+
+std::vector<double> elmore_tree(const RcNet& net) {
+  assert(net.is_tree());
+  const rcnet::Adjacency adj = rcnet::build_adjacency(net);
+  const std::size_t n = net.node_count();
+
+  // DFS order from the source (tree: each node reached once).
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> parent(n, net.source);
+  std::vector<std::uint32_t> parent_res(n, 0);
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{net.source};
+  seen[net.source] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (const rcnet::Neighbor& nb : adj[v]) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = true;
+        parent[nb.node] = v;
+        parent_res[nb.node] = nb.resistor_index;
+        stack.push_back(nb.node);
+      }
+    }
+  }
+
+  // Pass 1 (reverse order): downstream capacitance per node.
+  std::vector<double> down_cap(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) down_cap[v] = net.ground_cap[v];
+  for (const rcnet::CouplingCap& cc : net.couplings)
+    down_cap[cc.victim_node] += cc.farads;
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const NodeId v = order[i];
+    down_cap[parent[v]] += down_cap[v];
+  }
+
+  // Pass 2 (forward order): delay(v) = delay(parent) + R_edge * down_cap(v).
+  std::vector<double> delay(n, 0.0);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const NodeId v = order[i];
+    delay[v] = delay[parent[v]] + net.resistors[parent_res[v]].ohms * down_cap[v];
+  }
+  return delay;
+}
+
+std::vector<double> d2m_from_moments(const Moments& moments) {
+  constexpr double kLn2 = 0.693147180559945309;
+  std::vector<double> d2m(moments.m1.size(), 0.0);
+  for (std::size_t i = 0; i < d2m.size(); ++i) {
+    const double m2 = moments.m2[i];
+    d2m[i] = (m2 > 0.0) ? kLn2 * moments.m1[i] * moments.m1[i] / std::sqrt(m2) : 0.0;
+  }
+  return d2m;
+}
+
+}  // namespace gnntrans::sim

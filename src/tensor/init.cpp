@@ -1,0 +1,27 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace gnntrans::tensor {
+
+Tensor xavier_uniform(std::size_t rows, std::size_t cols, std::mt19937_64& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  std::uniform_real_distribution<float> dist(-limit, limit);
+  Tensor t(rows, cols, /*requires_grad=*/true);
+  for (float& v : t.values()) v = dist(rng);
+  return t;
+}
+
+Tensor he_normal(std::size_t rows, std::size_t cols, std::mt19937_64& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(rows));
+  std::normal_distribution<float> dist(0.0f, stddev);
+  Tensor t(rows, cols, /*requires_grad=*/true);
+  for (float& v : t.values()) v = dist(rng);
+  return t;
+}
+
+Tensor zeros_param(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, /*requires_grad=*/true);
+}
+
+}  // namespace gnntrans::tensor

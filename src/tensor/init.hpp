@@ -1,0 +1,24 @@
+/// \file init.hpp
+/// Parameter initialization (Xavier/Glorot and He) with explicit RNG so every
+/// training run in tests and benches is reproducible.
+#pragma once
+
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace gnntrans::tensor {
+
+/// Xavier-uniform initialized [rows, cols] parameter (requires_grad = true).
+[[nodiscard]] Tensor xavier_uniform(std::size_t rows, std::size_t cols,
+                                    std::mt19937_64& rng);
+
+/// He-normal initialized [rows, cols] parameter (requires_grad = true); use
+/// before ReLU-family nonlinearities.
+[[nodiscard]] Tensor he_normal(std::size_t rows, std::size_t cols,
+                               std::mt19937_64& rng);
+
+/// Zero-initialized [rows, cols] parameter (requires_grad = true); biases.
+[[nodiscard]] Tensor zeros_param(std::size_t rows, std::size_t cols);
+
+}  // namespace gnntrans::tensor

@@ -1,0 +1,98 @@
+/// \file ops.hpp
+/// Differentiable operations over Tensor (reverse-mode).
+///
+/// Every function returns a fresh tensor recorded on the tape (unless autograd
+/// is disabled via NoGradGuard). Shapes are validated with exceptions so model
+/// wiring errors fail loudly at construction time, not as silent corruption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gnntrans::tensor {
+
+/// Fixed-coefficient sparse matrix (graph structure: adjacency, pooling).
+/// Not differentiable w.r.t. its values — they encode circuit structure.
+struct GraphMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_index;
+  std::vector<std::uint32_t> col_index;
+  std::vector<float> values;
+
+  GraphMatrix() = default;
+  GraphMatrix(std::size_t r, std::size_t c) : rows(r), cols(c) {}
+
+  void add(std::uint32_t r, std::uint32_t c, float v) {
+    row_index.push_back(r);
+    col_index.push_back(c);
+    values.push_back(v);
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+
+  /// Scales every row to unit sum (rows with zero sum are left untouched).
+  void row_normalize();
+};
+
+// ---- Linear algebra ----
+
+/// C = A @ B.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A @ B^T (used by attention scores).
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// Transposed copy.
+[[nodiscard]] Tensor transpose(const Tensor& a);
+/// Y = M X for a fixed sparse M; backward propagates through X only.
+[[nodiscard]] Tensor spmm(const GraphMatrix& m, const Tensor& x);
+
+// ---- Elementwise / broadcast ----
+
+/// C = A + B (same shape).
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+/// C = A - B (same shape).
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+/// C = A * B elementwise (same shape).
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+/// C = A * s.
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+/// C[r, :] = A[r, :] + bias[0, :] for every row r.
+[[nodiscard]] Tensor add_row_broadcast(const Tensor& a, const Tensor& bias);
+/// E[i, j] = s[i, 0] + t[j, 0]; s is [N,1], t is [M,1], result [N,M].
+[[nodiscard]] Tensor outer_sum(const Tensor& s, const Tensor& t);
+
+// ---- Nonlinearities ----
+
+[[nodiscard]] Tensor relu(const Tensor& a);
+[[nodiscard]] Tensor leaky_relu(const Tensor& a, float negative_slope = 0.2f);
+[[nodiscard]] Tensor sigmoid(const Tensor& a);
+[[nodiscard]] Tensor tanh_op(const Tensor& a);
+
+// ---- Softmax ----
+
+/// Row-wise softmax.
+[[nodiscard]] Tensor softmax_rows(const Tensor& a);
+/// Row-wise softmax over entries where mask[r*cols+c] != 0; masked entries
+/// output 0. Rows that are fully masked output all zeros.
+[[nodiscard]] Tensor masked_softmax_rows(const Tensor& a,
+                                         const std::vector<std::uint8_t>& mask);
+
+// ---- Shape ----
+
+/// Column-wise concatenation (all inputs share the row count).
+[[nodiscard]] Tensor concat_cols(const std::vector<Tensor>& parts);
+/// Gathers rows by index (duplicates allowed); backward scatters-adds.
+[[nodiscard]] Tensor gather_rows(const Tensor& a,
+                                 const std::vector<std::uint32_t>& indices);
+
+// ---- Reductions / losses ----
+
+/// 1x1 sum of all entries.
+[[nodiscard]] Tensor sum_all(const Tensor& a);
+/// 1x1 mean of all entries.
+[[nodiscard]] Tensor mean_all(const Tensor& a);
+/// 1x1 mean squared error against a constant target (no grad into target).
+[[nodiscard]] Tensor mse_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace gnntrans::tensor

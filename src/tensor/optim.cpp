@@ -1,0 +1,60 @@
+#include "tensor/optim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnntrans::tensor {
+
+Adam::Adam(std::vector<Tensor> parameters, Config config)
+    : params_(std::move(parameters)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    if (!p.defined() || !p.requires_grad())
+      throw std::invalid_argument("Adam: parameter without requires_grad");
+    m_.emplace_back(p.size(), 0.0f);
+    v_.emplace_back(p.size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;  // never touched by backward
+    auto values = p.values();
+    auto grads = p.grad();
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      float g = grads[j];
+      if (config_.weight_decay > 0.0f)
+        values[j] -= config_.learning_rate * config_.weight_decay * values[j];
+      m_[i][j] = config_.beta1 * m_[i][j] + (1.0f - config_.beta1) * g;
+      v_[i][j] = config_.beta2 * v_[i][j] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m_[i][j] / bc1;
+      const float v_hat = v_[i][j] / bc2;
+      values[j] -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void Adam::zero_grad() noexcept {
+  for (Tensor& p : params_) p.zero_grad();
+}
+
+double clip_grad_norm(std::vector<Tensor>& parameters, double max_norm) {
+  double total = 0.0;
+  for (Tensor& p : parameters)
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  total = std::sqrt(total);
+  if (total > max_norm && total > 0.0) {
+    const float factor = static_cast<float>(max_norm / total);
+    for (Tensor& p : parameters)
+      for (float& g : p.grad()) g *= factor;
+  }
+  return total;
+}
+
+}  // namespace gnntrans::tensor

@@ -1,0 +1,50 @@
+/// \file optim.hpp
+/// Adam optimizer and gradient clipping over a flat parameter list.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gnntrans::tensor {
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam {
+ public:
+  struct Config {
+    float learning_rate = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;  ///< decoupled (AdamW-style) when > 0
+  };
+
+  /// Registers the parameters to optimize; their impls must outlive the
+  /// optimizer. Tensors without requires_grad are rejected.
+  Adam(std::vector<Tensor> parameters, Config config);
+  explicit Adam(std::vector<Tensor> parameters)
+      : Adam(std::move(parameters), Config{}) {}
+
+  /// Applies one update from the gradients currently stored on the parameters.
+  /// Parameters whose grad buffer is still unallocated are skipped.
+  void step();
+
+  /// Zeroes every registered parameter's gradient.
+  void zero_grad() noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;  ///< first-moment state per parameter
+  std::vector<std::vector<float>> v_;  ///< second-moment state per parameter
+  Config config_;
+  long step_count_ = 0;
+};
+
+/// Scales gradients so their global L2 norm is at most \p max_norm.
+/// Returns the pre-clip norm.
+double clip_grad_norm(std::vector<Tensor>& parameters, double max_norm);
+
+}  // namespace gnntrans::tensor

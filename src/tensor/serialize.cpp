@@ -1,0 +1,85 @@
+#include "tensor/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace gnntrans::tensor {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("serialize: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_pod<std::uint64_t>(out, t.rows());
+  write_pod<std::uint64_t>(out, t.cols());
+  out.write(reinterpret_cast<const char*>(t.values().data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& in, bool requires_grad) {
+  const auto rows = read_pod<std::uint64_t>(in);
+  const auto cols = read_pod<std::uint64_t>(in);
+  if (rows > (1u << 24) || cols > (1u << 24))
+    throw std::runtime_error("serialize: implausible tensor shape");
+  Tensor t(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols),
+           requires_grad);
+  in.read(reinterpret_cast<char*>(t.values().data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("serialize: truncated tensor data");
+  return t;
+}
+
+void write_header(std::ostream& out, const std::string& magic, std::uint32_t version) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(magic.size()));
+  out.write(magic.data(), static_cast<std::streamsize>(magic.size()));
+  write_pod<std::uint32_t>(out, version);
+}
+
+void check_header(std::istream& in, const std::string& magic,
+                  std::uint32_t expected_version) {
+  const auto len = read_pod<std::uint32_t>(in);
+  if (len != magic.size()) throw std::runtime_error("serialize: bad magic length");
+  std::string found(len, '\0');
+  in.read(found.data(), len);
+  if (!in || found != magic) throw std::runtime_error("serialize: bad magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != expected_version)
+    throw std::runtime_error("serialize: unsupported version " +
+                             std::to_string(version));
+}
+
+void write_doubles(std::ostream& out, const std::vector<double>& values) {
+  write_pod<std::uint64_t>(out, values.size());
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  if (n > (1u << 26)) throw std::runtime_error("serialize: implausible vector size");
+  std::vector<double> values(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("serialize: truncated doubles");
+  return values;
+}
+
+void write_u32(std::ostream& out, std::uint32_t value) { write_pod(out, value); }
+
+std::uint32_t read_u32(std::istream& in) { return read_pod<std::uint32_t>(in); }
+
+}  // namespace gnntrans::tensor

@@ -1,0 +1,40 @@
+/// \file serialize.hpp
+/// Binary (de)serialization of tensors and metadata for model checkpoints.
+///
+/// Format: little-endian; each tensor is [u64 rows][u64 cols][f32 * rows*cols].
+/// Checkpoints start with a caller-supplied magic + version so incompatible
+/// files fail fast instead of deserializing garbage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gnntrans::tensor {
+
+/// Writes one tensor (values only; gradients are transient state).
+void write_tensor(std::ostream& out, const Tensor& t);
+
+/// Reads one tensor written by write_tensor. Throws std::runtime_error on a
+/// truncated or malformed stream. Result requires_grad matches \p requires_grad.
+[[nodiscard]] Tensor read_tensor(std::istream& in, bool requires_grad = true);
+
+/// Writes a header (magic string + u32 version).
+void write_header(std::ostream& out, const std::string& magic, std::uint32_t version);
+
+/// Validates a header; throws std::runtime_error on mismatch.
+void check_header(std::istream& in, const std::string& magic,
+                  std::uint32_t expected_version);
+
+/// Writes/reads a vector<double> (normalization statistics).
+void write_doubles(std::ostream& out, const std::vector<double>& values);
+[[nodiscard]] std::vector<double> read_doubles(std::istream& in);
+
+/// Writes/reads a u32 scalar (layer counts, dims).
+void write_u32(std::ostream& out, std::uint32_t value);
+[[nodiscard]] std::uint32_t read_u32(std::istream& in);
+
+}  // namespace gnntrans::tensor

@@ -1,0 +1,324 @@
+// Finite-difference gradient verification for every differentiable op and for
+// the composite layers used by the models. This is the load-bearing test file
+// for training correctness: any backward-formula bug fails here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <random>
+
+#include "nn/layers.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace gnntrans::tensor;
+
+/// Central-difference check of d(loss)/d(param) for every element of every
+/// parameter. `loss_fn` must re-run the full forward pass on each call.
+void check_gradients(const std::function<Tensor()>& loss_fn,
+                     std::vector<Tensor> params, float eps = 1e-2f,
+                     float tol = 2e-2f) {
+  // Analytic gradients.
+  for (Tensor& p : params) p.zero_grad();
+  Tensor loss = loss_fn();
+  loss.backward();
+
+  std::vector<std::vector<float>> analytic;
+  for (Tensor& p : params) {
+    ASSERT_FALSE(p.grad().empty());
+    analytic.emplace_back(p.grad().begin(), p.grad().end());
+  }
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = params[pi];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const float saved = p.values()[i];
+      float plus, minus;
+      {
+        NoGradGuard guard;
+        p.values()[i] = saved + eps;
+        plus = loss_fn().item();
+        p.values()[i] = saved - eps;
+        minus = loss_fn().item();
+        p.values()[i] = saved;
+      }
+      const float numeric = (plus - minus) / (2 * eps);
+      const float exact = analytic[pi][i];
+      const float denom = std::max({1.0f, std::abs(numeric), std::abs(exact)});
+      EXPECT_NEAR(numeric / denom, exact / denom, tol)
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+Tensor rand_tensor(std::size_t r, std::size_t c, std::mt19937_64& rng,
+                   bool grad = true) {
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  Tensor t(r, c, grad);
+  for (float& v : t.values()) v = dist(rng);
+  return t;
+}
+
+TEST(GradCheck, Matmul) {
+  std::mt19937_64 rng(1);
+  Tensor a = rand_tensor(3, 4, rng), b = rand_tensor(4, 2, rng);
+  check_gradients([&] { return sum_all(matmul(a, b)); }, {a, b});
+}
+
+TEST(GradCheck, MatmulNt) {
+  std::mt19937_64 rng(2);
+  Tensor a = rand_tensor(3, 4, rng), b = rand_tensor(5, 4, rng);
+  check_gradients([&] { return sum_all(mul(matmul_nt(a, b), matmul_nt(a, b))); },
+                  {a, b});
+}
+
+TEST(GradCheck, Transpose) {
+  std::mt19937_64 rng(3);
+  Tensor a = rand_tensor(3, 4, rng);
+  Tensor w = rand_tensor(3, 4, rng);
+  check_gradients([&] { return sum_all(mul(transpose(a), transpose(w))); }, {a, w});
+}
+
+TEST(GradCheck, AddSubMulScale) {
+  std::mt19937_64 rng(4);
+  Tensor a = rand_tensor(3, 3, rng), b = rand_tensor(3, 3, rng);
+  check_gradients(
+      [&] { return sum_all(mul(add(a, b), sub(scale(a, 0.5f), b))); }, {a, b});
+}
+
+TEST(GradCheck, AddRowBroadcast) {
+  std::mt19937_64 rng(5);
+  Tensor a = rand_tensor(4, 3, rng), bias = rand_tensor(1, 3, rng);
+  check_gradients(
+      [&] {
+        const Tensor y = add_row_broadcast(a, bias);
+        return sum_all(mul(y, y));
+      },
+      {a, bias});
+}
+
+TEST(GradCheck, OuterSum) {
+  std::mt19937_64 rng(6);
+  Tensor s = rand_tensor(4, 1, rng), t = rand_tensor(3, 1, rng);
+  check_gradients(
+      [&] {
+        const Tensor e = outer_sum(s, t);
+        return sum_all(mul(e, e));
+      },
+      {s, t});
+}
+
+TEST(GradCheck, ReluAtNonKinkPoints) {
+  std::mt19937_64 rng(7);
+  Tensor a = rand_tensor(4, 4, rng);
+  // Keep values away from the kink so finite differences are valid.
+  for (float& v : a.values())
+    if (std::abs(v) < 0.1f) v = 0.3f;
+  check_gradients([&] { return sum_all(mul(relu(a), relu(a))); }, {a});
+}
+
+TEST(GradCheck, LeakyRelu) {
+  std::mt19937_64 rng(8);
+  Tensor a = rand_tensor(4, 4, rng);
+  for (float& v : a.values())
+    if (std::abs(v) < 0.1f) v = -0.4f;
+  check_gradients([&] { return sum_all(mul(leaky_relu(a), leaky_relu(a))); }, {a});
+}
+
+TEST(GradCheck, SigmoidAndTanh) {
+  std::mt19937_64 rng(9);
+  Tensor a = rand_tensor(3, 3, rng);
+  check_gradients([&] { return sum_all(mul(sigmoid(a), tanh_op(a))); }, {a},
+                  5e-3f);
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  std::mt19937_64 rng(10);
+  Tensor a = rand_tensor(3, 5, rng);
+  Tensor w = rand_tensor(3, 5, rng);
+  check_gradients([&] { return sum_all(mul(softmax_rows(a), w)); }, {a}, 5e-3f);
+}
+
+TEST(GradCheck, MaskedSoftmaxRows) {
+  std::mt19937_64 rng(11);
+  Tensor a = rand_tensor(3, 4, rng);
+  Tensor w = rand_tensor(3, 4, rng);
+  const std::vector<std::uint8_t> mask{1, 1, 0, 1,  0, 1, 1, 0,  1, 0, 0, 1};
+  check_gradients([&] { return sum_all(mul(masked_softmax_rows(a, mask), w)); },
+                  {a}, 5e-3f);
+}
+
+TEST(GradCheck, ConcatCols) {
+  std::mt19937_64 rng(12);
+  Tensor a = rand_tensor(3, 2, rng), b = rand_tensor(3, 4, rng),
+         c = rand_tensor(3, 1, rng);
+  check_gradients(
+      [&] {
+        const Tensor y = concat_cols({a, b, c});
+        return sum_all(mul(y, y));
+      },
+      {a, b, c});
+}
+
+TEST(GradCheck, GatherRows) {
+  std::mt19937_64 rng(13);
+  Tensor a = rand_tensor(4, 3, rng);
+  const std::vector<std::uint32_t> idx{0, 2, 2, 3};
+  check_gradients(
+      [&] {
+        const Tensor y = gather_rows(a, idx);
+        return sum_all(mul(y, y));
+      },
+      {a});
+}
+
+TEST(GradCheck, Spmm) {
+  std::mt19937_64 rng(14);
+  GraphMatrix m(3, 4);
+  m.add(0, 1, 0.7f);
+  m.add(0, 3, -0.5f);
+  m.add(1, 0, 1.2f);
+  m.add(2, 2, 0.4f);
+  m.add(2, 3, 0.9f);
+  Tensor x = rand_tensor(4, 3, rng);
+  check_gradients(
+      [&] {
+        const Tensor y = spmm(m, x);
+        return sum_all(mul(y, y));
+      },
+      {x});
+}
+
+TEST(GradCheck, MseLoss) {
+  std::mt19937_64 rng(15);
+  Tensor pred = rand_tensor(5, 1, rng);
+  Tensor target = rand_tensor(5, 1, rng, /*grad=*/false);
+  check_gradients([&] { return mse_loss(pred, target); }, {pred});
+}
+
+TEST(GradCheck, MeanAll) {
+  std::mt19937_64 rng(16);
+  Tensor a = rand_tensor(4, 4, rng);
+  check_gradients([&] { return mean_all(mul(a, a)); }, {a});
+}
+
+// ---- Composite layers: gradients flow through entire blocks ----
+
+TEST(GradCheck, LinearLayer) {
+  std::mt19937_64 rng(20);
+  gnntrans::nn::Linear layer(4, 3, rng);
+  Tensor x = rand_tensor(5, 4, rng, /*grad=*/false);
+  std::vector<Tensor> params;
+  layer.collect_parameters(params);
+  check_gradients(
+      [&] {
+        const Tensor y = layer.forward(x);
+        return sum_all(mul(y, y));
+      },
+      params);
+}
+
+TEST(GradCheck, MlpTwoHidden) {
+  std::mt19937_64 rng(21);
+  gnntrans::nn::Mlp mlp({3, 6, 6, 1}, rng);
+  Tensor x = rand_tensor(4, 3, rng, /*grad=*/false);
+  std::vector<Tensor> params;
+  mlp.collect_parameters(params);
+  // Wider tolerance: hidden ReLU kinks make central differences noisy.
+  check_gradients([&] { return sum_all(mlp.forward(x)); }, params, 5e-3f, 8e-2f);
+}
+
+TEST(GradCheck, SageConv) {
+  std::mt19937_64 rng(22);
+  gnntrans::nn::SageConv conv(3, 4, rng);
+  GraphMatrix agg(4, 4);
+  agg.add(0, 1, 1.0f);
+  agg.add(1, 0, 0.5f);
+  agg.add(1, 2, 0.5f);
+  agg.add(2, 1, 0.6f);
+  agg.add(3, 2, 1.0f);
+  Tensor x = rand_tensor(4, 3, rng, /*grad=*/false);
+  std::vector<Tensor> params;
+  conv.collect_parameters(params);
+  check_gradients(
+      [&] {
+        const Tensor y = conv.forward(x, agg);
+        return sum_all(mul(y, y));
+      },
+      params, 1e-2f, 3e-2f);
+}
+
+TEST(GradCheck, SelfAttentionGlobal) {
+  std::mt19937_64 rng(23);
+  gnntrans::nn::SelfAttentionLayer attn(4, 2, rng);
+  Tensor x = rand_tensor(5, 4, rng, /*grad=*/false);
+  std::vector<Tensor> params;
+  attn.collect_parameters(params);
+  static const std::vector<std::uint8_t> kNoMask;
+  check_gradients(
+      [&] {
+        const Tensor y = attn.forward(x, kNoMask);
+        return sum_all(mul(y, y));
+      },
+      params, 5e-3f, 3e-2f);
+}
+
+TEST(GradCheck, GatLayer) {
+  std::mt19937_64 rng(24);
+  gnntrans::nn::GatLayer gat(3, 4, 2, rng);
+  Tensor x = rand_tensor(4, 3, rng, /*grad=*/false);
+  std::vector<std::uint8_t> mask(16, 0);
+  for (std::size_t i = 0; i < 4; ++i) mask[i * 4 + i] = 1;
+  mask[0 * 4 + 1] = mask[1 * 4 + 0] = 1;
+  mask[2 * 4 + 3] = mask[3 * 4 + 2] = 1;
+  std::vector<Tensor> params;
+  gat.collect_parameters(params);
+  check_gradients(
+      [&] {
+        const Tensor y = gat.forward(x, mask);
+        return sum_all(mul(y, y));
+      },
+      params, 5e-3f, 4e-2f);
+}
+
+TEST(GradCheck, GcniiLayer) {
+  std::mt19937_64 rng(25);
+  gnntrans::nn::GcniiLayer layer(4, 0.1f, 0.4f, rng);
+  GraphMatrix prop(3, 3);
+  prop.add(0, 0, 0.5f);
+  prop.add(0, 1, 0.5f);
+  prop.add(1, 1, 0.4f);
+  prop.add(1, 0, 0.3f);
+  prop.add(1, 2, 0.3f);
+  prop.add(2, 2, 0.6f);
+  prop.add(2, 1, 0.4f);
+  Tensor x = rand_tensor(3, 4, rng, /*grad=*/false);
+  Tensor x0 = rand_tensor(3, 4, rng, /*grad=*/false);
+  std::vector<Tensor> params;
+  layer.collect_parameters(params);
+  check_gradients(
+      [&] {
+        const Tensor y = layer.forward(x, x0, prop);
+        return sum_all(mul(y, y));
+      },
+      params, 1e-2f, 3e-2f);
+}
+
+TEST(GradCheck, FeedForward) {
+  std::mt19937_64 rng(26);
+  gnntrans::nn::FeedForward ffn(4, 8, rng);
+  Tensor x = rand_tensor(3, 4, rng, /*grad=*/false);
+  std::vector<Tensor> params;
+  ffn.collect_parameters(params);
+  check_gradients(
+      [&] {
+        const Tensor y = ffn.forward(x);
+        return sum_all(mul(y, y));
+      },
+      params, 1e-2f, 3e-2f);
+}
+
+}  // namespace

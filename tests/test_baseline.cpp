@@ -1,0 +1,242 @@
+// Tests for loop-breaking, the GBDT, and the DAC'20 baseline estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "baseline/dac20.hpp"
+#include "baseline/gbdt.hpp"
+#include "baseline/loop_breaking.hpp"
+#include "features/dataset.hpp"
+#include "rcnet/generate.hpp"
+#include "sim/moments.hpp"
+
+namespace {
+
+using namespace gnntrans;
+using namespace gnntrans::baseline;
+
+TEST(LoopBreaking, TreeNetsPassThroughUnchanged) {
+  std::mt19937_64 rng(1);
+  rcnet::NetGenConfig cfg;
+  cfg.non_tree_fraction = 0.0;
+  const rcnet::RcNet net = rcnet::generate_net(cfg, rng, "t");
+  const rcnet::RcNet broken = break_loops(net);
+  EXPECT_EQ(broken.resistors.size(), net.resistors.size());
+}
+
+class LoopBreakSeeded : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopBreakSeeded, ResultIsSpanningTree) {
+  std::mt19937_64 rng(GetParam());
+  rcnet::NetGenConfig cfg;
+  cfg.non_tree_fraction = 1.0;
+  const rcnet::RcNet net = rcnet::generate_net(cfg, rng, "nt");
+  const rcnet::RcNet broken = break_loops(net);
+  EXPECT_TRUE(broken.is_tree());
+  EXPECT_TRUE(broken.validate().empty());
+  EXPECT_EQ(broken.node_count(), net.node_count());
+  EXPECT_EQ(broken.sinks, net.sinks);
+}
+
+TEST_P(LoopBreakSeeded, KeepsLowResistanceEdges) {
+  std::mt19937_64 rng(GetParam() + 40);
+  rcnet::NetGenConfig cfg;
+  cfg.non_tree_fraction = 1.0;
+  const rcnet::RcNet net = rcnet::generate_net(cfg, rng, "nt");
+  const rcnet::RcNet broken = break_loops(net);
+  // Minimum spanning tree: total kept resistance <= any spanning subset,
+  // in particular <= total minus the largest dropped edge.
+  EXPECT_LE(broken.total_resistance(), net.total_resistance());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopBreakSeeded, ::testing::Range(1, 9));
+
+TEST(LoopBreaking, BreakingLoopsInflatesElmore) {
+  // Dropping a parallel path can only slow the (modeled) net down — this is
+  // precisely the DAC'20 induced error the paper describes.
+  rcnet::RcNet net;
+  net.source = 0;
+  net.sinks = {3};
+  net.ground_cap = {1e-15, 2e-15, 2e-15, 3e-15};
+  net.resistors = {{0, 1, 10.0}, {1, 3, 10.0}, {0, 2, 15.0}, {2, 3, 80.0}};
+  const rcnet::RcNet broken = break_loops(net);
+  ASSERT_TRUE(broken.is_tree());
+  const double exact = sim::compute_moments(net).m1[3];
+  const double approx = sim::compute_moments(broken).m1[3];
+  EXPECT_GT(approx, exact);
+}
+
+// ---- GBDT ----
+
+TEST(Gbdt, FitsAxisAlignedStepFunction) {
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (int i = 0; i < 400; ++i) {
+    const float a = dist(rng), b = dist(rng);
+    x.push_back({a, b});
+    y.push_back(a > 0.5f ? 10.0 : -10.0);
+  }
+  GbdtConfig cfg;
+  // Shrinkage converges geometrically: residual ~ 0.9^trees, so 60 rounds
+  // leave ~2% of the 20-unit step.
+  cfg.trees = 60;
+  GbdtRegressor model;
+  model.fit(x, y, cfg);
+  EXPECT_NEAR(model.predict(std::vector<float>{0.9f, 0.5f}), 10.0, 0.5);
+  EXPECT_NEAR(model.predict(std::vector<float>{0.1f, 0.5f}), -10.0, 0.5);
+}
+
+TEST(Gbdt, FitsSmoothQuadratic) {
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int i = 0; i < 800; ++i) {
+    const float a = dist(rng), b = dist(rng);
+    x.push_back({a, b});
+    y.push_back(a * a + 0.5 * b);
+  }
+  GbdtConfig cfg;
+  cfg.trees = 150;
+  cfg.max_depth = 5;
+  cfg.min_samples_leaf = 4;
+  GbdtRegressor model;
+  model.fit(x, y, cfg);
+  double sse = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const float a = dist(rng), b = dist(rng);
+    const double pred = model.predict(std::vector<float>{a, b});
+    sse += (pred - (a * a + 0.5 * b)) * (pred - (a * a + 0.5 * b));
+  }
+  EXPECT_LT(sse / 100.0, 0.02);
+}
+
+TEST(Gbdt, ConstantTargetYieldsConstantPrediction) {
+  std::vector<std::vector<float>> x{{0.0f}, {1.0f}, {2.0f}, {3.0f},
+                                    {4.0f}, {5.0f}, {6.0f}, {7.0f}};
+  std::vector<double> y(8, 3.25);
+  GbdtRegressor model;
+  model.fit(x, y, GbdtConfig{});
+  EXPECT_NEAR(model.predict(std::vector<float>{2.5f}), 3.25, 1e-9);
+}
+
+TEST(Gbdt, MoreTreesReduceTrainingError) {
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int i = 0; i < 300; ++i) {
+    const float a = dist(rng);
+    x.push_back({a});
+    y.push_back(std::sin(3.0 * a));
+  }
+  auto train_err = [&](std::size_t trees) {
+    GbdtConfig cfg;
+    cfg.trees = trees;
+    GbdtRegressor m;
+    m.fit(x, y, cfg);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      sse += (m.predict(x[i]) - y[i]) * (m.predict(x[i]) - y[i]);
+    return sse;
+  };
+  EXPECT_LT(train_err(80), train_err(5));
+}
+
+TEST(Gbdt, SaveLoadRoundTrip) {
+  std::vector<std::vector<float>> x{{0.f}, {1.f}, {2.f}, {3.f},
+                                    {4.f}, {5.f}, {6.f}, {7.f},
+                                    {8.f}, {9.f}, {10.f}, {11.f},
+                                    {12.f}, {13.f}, {14.f}, {15.f}};
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(2.0 * row[0] - 1.0);
+  GbdtRegressor a;
+  GbdtConfig cfg;
+  cfg.trees = 10;
+  cfg.min_samples_leaf = 2;
+  a.fit(x, y, cfg);
+  std::stringstream buf;
+  a.save(buf);
+  GbdtRegressor b;
+  b.load(buf);
+  for (const auto& row : x)
+    EXPECT_DOUBLE_EQ(a.predict(row), b.predict(row));
+}
+
+TEST(Gbdt, RejectsEmptyInput) {
+  GbdtRegressor m;
+  EXPECT_THROW(m.fit({}, {}, GbdtConfig{}), std::invalid_argument);
+}
+
+// ---- DAC20 estimator ----
+
+std::vector<features::WireRecord> labeled_records(std::size_t count,
+                                                  std::uint64_t seed) {
+  const auto lib = cell::CellLibrary::make_default();
+  features::WireDatasetConfig cfg;
+  cfg.net_count = count;
+  cfg.seed = seed;
+  cfg.sim_config.steps = 300;
+  return features::generate_wire_records(cfg, lib);
+}
+
+TEST(Dac20, FeatureRowsAlignWithSinks) {
+  const auto records = labeled_records(5, 31);
+  for (const auto& rec : records) {
+    const auto rows = dac20_features(rec.net, rec.context);
+    EXPECT_EQ(rows.size(), rec.net.sinks.size());
+    for (const auto& row : rows) EXPECT_EQ(row.size(), kDac20FeatureCount);
+  }
+}
+
+TEST(Dac20, TrainsAndPredictsPlausibleTimings) {
+  const auto records = labeled_records(80, 33);
+  Dac20Estimator est;
+  GbdtConfig cfg;
+  cfg.trees = 60;
+  est.train(records, cfg);
+  EXPECT_TRUE(est.trained());
+
+  // On the training set, predictions must correlate with labels.
+  double err = 0.0, scale = 0.0;
+  for (const auto& rec : records) {
+    const auto pred = est.estimate(rec.net, rec.context);
+    ASSERT_EQ(pred.size(), rec.delay_labels.size());
+    for (std::size_t q = 0; q < pred.size(); ++q) {
+      err += std::abs(pred[q].delay - rec.delay_labels[q]);
+      scale += rec.delay_labels[q];
+    }
+  }
+  EXPECT_LT(err, 0.35 * scale);  // mean relative error well under 35%
+}
+
+TEST(Dac20, PredictBeforeTrainThrows) {
+  const auto records = labeled_records(2, 35);
+  const Dac20Estimator est;
+  EXPECT_THROW(est.estimate(records[0].net, records[0].context), std::logic_error);
+}
+
+TEST(Dac20, SaveLoadRoundTrip) {
+  const auto records = labeled_records(30, 37);
+  Dac20Estimator a;
+  GbdtConfig cfg;
+  cfg.trees = 20;
+  a.train(records, cfg);
+  std::stringstream buf;
+  a.save(buf);
+  Dac20Estimator b;
+  b.load(buf);
+  const auto pa = a.estimate(records[0].net, records[0].context);
+  const auto pb = b.estimate(records[0].net, records[0].context);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t q = 0; q < pa.size(); ++q) {
+    EXPECT_DOUBLE_EQ(pa[q].delay, pb[q].delay);
+    EXPECT_DOUBLE_EQ(pa[q].slew, pb[q].slew);
+  }
+}
+
+}  // namespace

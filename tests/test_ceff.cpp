@@ -1,0 +1,189 @@
+// Tests for the pi-model reduction and effective capacitance.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/generate.hpp"
+#include "netlist/incremental.hpp"
+#include "netlist/sta.hpp"
+#include "rcnet/generate.hpp"
+#include "sim/ceff.hpp"
+#include "sim/transient.hpp"
+
+namespace {
+
+using namespace gnntrans;
+using rcnet::RcNet;
+
+RcNet chain(std::size_t n, double r, double c) {
+  RcNet net;
+  net.name = "chain";
+  net.source = 0;
+  net.sinks = {static_cast<rcnet::NodeId>(n - 1)};
+  net.ground_cap.assign(n, c);
+  for (rcnet::NodeId v = 1; v < n; ++v)
+    net.resistors.push_back({static_cast<rcnet::NodeId>(v - 1), v, r});
+  return net;
+}
+
+TEST(PiModel, PreservesTotalCapacitance) {
+  std::mt19937_64 rng(2);
+  rcnet::NetGenConfig cfg;
+  cfg.coupling_prob = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const RcNet net = rcnet::generate_net(cfg, rng, "n");
+    const sim::PiModel pi = sim::reduce_to_pi(net);
+    EXPECT_NEAR(pi.total_cap(), net.total_ground_cap(),
+                1e-6 * net.total_ground_cap());
+    EXPECT_GE(pi.c_near, 0.0);
+    EXPECT_GE(pi.c_far, 0.0);
+    EXPECT_GE(pi.r, 0.0);
+  }
+}
+
+TEST(PiModel, ResistiveChainShieldsMostCapacitance) {
+  // Heavy series R: the far cap should dominate and r be significant.
+  const RcNet net = chain(20, 300.0, 4e-15);
+  const sim::PiModel pi = sim::reduce_to_pi(net);
+  EXPECT_GT(pi.r, 100.0);
+  EXPECT_GT(pi.c_far, pi.c_near * 0.2);
+}
+
+TEST(Ceff, NegligibleWireResistanceGivesTotalCap) {
+  const RcNet net = chain(6, 0.01, 5e-15);
+  const double ceff = sim::effective_capacitance(net, 4e-11);
+  EXPECT_NEAR(ceff, net.total_ground_cap(), 0.02 * net.total_ground_cap());
+}
+
+TEST(Ceff, ShieldedNetShowsReducedLoad) {
+  const RcNet net = chain(30, 400.0, 5e-15);
+  const double ceff = sim::effective_capacitance(net, 2e-11);
+  EXPECT_LT(ceff, 0.8 * net.total_ground_cap());
+  EXPECT_GT(ceff, 0.0);
+}
+
+TEST(Ceff, MonotoneInTransitionTime) {
+  // Slower transitions see more of the far capacitance.
+  const RcNet net = chain(20, 200.0, 4e-15);
+  const sim::PiModel pi = sim::reduce_to_pi(net);
+  double previous = 0.0;
+  for (double tr : {5e-12, 2e-11, 8e-11, 3e-10, 1e-9}) {
+    const double ceff = sim::effective_capacitance(pi, tr);
+    EXPECT_GE(ceff, previous);
+    previous = ceff;
+  }
+  // Asymptotically the full cap is visible.
+  EXPECT_NEAR(sim::effective_capacitance(pi, 1e-6), pi.total_cap(),
+              0.01 * pi.total_cap());
+}
+
+TEST(Ceff, BoundedByNearAndTotalCap) {
+  std::mt19937_64 rng(3);
+  rcnet::NetGenConfig cfg;
+  for (int i = 0; i < 12; ++i) {
+    const RcNet net = rcnet::generate_net(cfg, rng, "n");
+    const sim::PiModel pi = sim::reduce_to_pi(net);
+    for (double tr : {1e-12, 4e-11, 1e-9}) {
+      const double ceff = sim::effective_capacitance(pi, tr);
+      EXPECT_GE(ceff, pi.c_near - 1e-20);
+      EXPECT_LE(ceff, pi.total_cap() + 1e-20);
+    }
+  }
+}
+
+TEST(Ceff, PiDriverWaveformMatchesFullNetBetterThanLumpedTotal) {
+  // Drive the full net and compare the source-node t50 against driving the
+  // lumped Ceff vs the lumped total cap: Ceff must be the better surrogate.
+  const RcNet net = chain(25, 250.0, 5e-15);
+  sim::TransientConfig tc;
+  tc.si.enabled = false;
+  tc.steps = 1500;
+  const double r_drv = 150.0;
+  const double slew = 3e-11;
+
+  const auto full = sim::simulate(net, tc, slew, r_drv);
+  const double t50_full = full.source_t50;
+
+  auto lumped_t50 = [&](double cap) {
+    RcNet lump;
+    lump.name = "lump";
+    lump.source = 0;
+    lump.sinks = {1};
+    lump.ground_cap = {cap * 0.5, cap * 0.5};
+    lump.resistors = {{0, 1, 0.01}};
+    return sim::simulate(lump, tc, slew, r_drv).source_t50;
+  };
+  const double ceff = sim::effective_capacitance(net, slew / 0.6);
+  const double err_ceff = std::abs(lumped_t50(ceff) - t50_full);
+  const double err_total = std::abs(lumped_t50(net.total_ground_cap()) - t50_full);
+  EXPECT_LT(err_ceff, err_total);
+}
+
+TEST(CeffSta, IncrementalHonorsCeffConfig) {
+  // IncrementalSta must use the same load model as run_sta under use_ceff.
+  const auto lib = cell::CellLibrary::make_default();
+  netlist::DesignGenConfig cfg;
+  cfg.startpoints = 4;
+  cfg.levels = 3;
+  cfg.cells_per_level = 6;
+  cfg.seed = 33;
+  const netlist::Design d = netlist::generate_design(cfg, lib, "inc_ceff");
+  sim::TransientConfig tc;
+  tc.steps = 300;
+  netlist::StaConfig sta_cfg;
+  sta_cfg.use_ceff = true;
+
+  netlist::GoldenWireSource w_full(tc), w_inc(tc);
+  const auto full = netlist::run_sta(d, lib, w_full, sta_cfg);
+  netlist::IncrementalSta inc(d, lib, w_inc, sta_cfg);
+  ASSERT_EQ(full.endpoint_arrival.size(), inc.result().endpoint_arrival.size());
+  for (std::size_t e = 0; e < full.endpoint_arrival.size(); ++e)
+    EXPECT_NEAR(inc.result().endpoint_arrival[e], full.endpoint_arrival[e],
+                1e-15 + 1e-9 * full.endpoint_arrival[e]);
+
+  // And stays equal to a full rerun after a swap.
+  const netlist::InstanceId victim = d.nets[0].driver;
+  netlist::Design mutated = d;
+  const auto inv4 = static_cast<std::uint32_t>(*lib.find("INV_X4"));
+  const auto old_fn = lib.at(d.instances[victim].cell_index).function;
+  if (cell::input_count(old_fn) == 1 && !cell::is_sequential(old_fn)) {
+    inc.swap_cell(victim, inv4);
+    mutated.instances[victim].cell_index = inv4;
+    netlist::GoldenWireSource w_again(tc);
+    const auto again = netlist::run_sta(mutated, lib, w_again, sta_cfg);
+    for (std::size_t e = 0; e < again.endpoint_arrival.size(); ++e)
+      EXPECT_NEAR(inc.result().endpoint_arrival[e], again.endpoint_arrival[e],
+                  1e-15 + 1e-9 * again.endpoint_arrival[e]);
+  }
+}
+
+TEST(CeffSta, ShieldingAwareArrivalsAreNoLater) {
+  // With Ceff the drivers see lighter loads, so arrivals can only improve
+  // (gate delay is monotone in load).
+  const auto lib = cell::CellLibrary::make_default();
+  netlist::DesignGenConfig cfg;
+  cfg.startpoints = 5;
+  cfg.levels = 4;
+  cfg.cells_per_level = 7;
+  cfg.seed = 21;
+  const netlist::Design d = netlist::generate_design(cfg, lib, "ceff");
+  sim::TransientConfig tc;
+  tc.steps = 300;
+
+  netlist::GoldenWireSource w1(tc), w2(tc);
+  netlist::StaConfig total_cfg;
+  netlist::StaConfig ceff_cfg;
+  ceff_cfg.use_ceff = true;
+  const auto total = netlist::run_sta(d, lib, w1, total_cfg);
+  const auto with_ceff = netlist::run_sta(d, lib, w2, ceff_cfg);
+  ASSERT_EQ(total.endpoint_arrival.size(), with_ceff.endpoint_arrival.size());
+  double improved = 0.0;
+  for (std::size_t e = 0; e < total.endpoint_arrival.size(); ++e) {
+    EXPECT_LE(with_ceff.endpoint_arrival[e],
+              total.endpoint_arrival[e] * 1.001 + 1e-15);
+    improved += total.endpoint_arrival[e] - with_ceff.endpoint_arrival[e];
+  }
+  EXPECT_GT(improved, 0.0);  // shielding must matter somewhere
+}
+
+}  // namespace

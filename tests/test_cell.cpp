@@ -1,0 +1,125 @@
+// Tests for NLDM tables and the synthetic cell library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cell/library.hpp"
+#include "cell/nldm.hpp"
+
+namespace {
+
+using namespace gnntrans::cell;
+
+NldmTable linear_table() {
+  // f(s, c) = 2 s + 3 c : bilinear interpolation must be exact.
+  return NldmTable::characterize({1.0, 2.0, 4.0, 8.0}, {10.0, 20.0, 40.0},
+                                 [](double s, double c) { return 2 * s + 3 * c; });
+}
+
+TEST(Nldm, ExactAtGridPoints) {
+  const NldmTable t = linear_table();
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 20.0), 64.0);
+  EXPECT_DOUBLE_EQ(t.lookup(8.0, 40.0), 136.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 10.0), 32.0);
+}
+
+TEST(Nldm, BilinearIsExactForBilinearFunction) {
+  const NldmTable t = linear_table();
+  EXPECT_NEAR(t.lookup(3.0, 15.0), 2 * 3.0 + 3 * 15.0, 1e-12);
+  EXPECT_NEAR(t.lookup(5.5, 33.0), 2 * 5.5 + 3 * 33.0, 1e-12);
+}
+
+TEST(Nldm, ExtrapolatesLinearlyOutsideGrid) {
+  const NldmTable t = linear_table();
+  // Beyond both axes the border cell's plane continues.
+  EXPECT_NEAR(t.lookup(16.0, 80.0), 2 * 16.0 + 3 * 80.0, 1e-12);
+  EXPECT_NEAR(t.lookup(0.5, 5.0), 2 * 0.5 + 3 * 5.0, 1e-12);
+}
+
+TEST(Nldm, RejectsBadAxes) {
+  EXPECT_THROW(NldmTable::characterize({1.0}, {1.0, 2.0},
+                                       [](double, double) { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(NldmTable::characterize({2.0, 1.0}, {1.0, 2.0},
+                                       [](double, double) { return 0.0; }),
+               std::invalid_argument);
+}
+
+TEST(Library, DefaultLibraryIsPopulated) {
+  const CellLibrary lib = CellLibrary::make_default();
+  EXPECT_GT(lib.size(), 20u);
+  EXPECT_FALSE(lib.combinational().empty());
+  EXPECT_FALSE(lib.sequential().empty());
+  EXPECT_EQ(lib.combinational().size() + lib.sequential().size(), lib.size());
+}
+
+TEST(Library, FindLocatesCellsByName) {
+  const CellLibrary lib = CellLibrary::make_default();
+  const auto idx = lib.find("INV_X1");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(lib.at(*idx).function, CellFunction::kInv);
+  EXPECT_EQ(lib.at(*idx).drive_strength, 1u);
+  EXPECT_FALSE(lib.find("NONEXISTENT_X9").has_value());
+}
+
+TEST(Library, StrongerDriveMeansLowerResistance) {
+  const CellLibrary lib = CellLibrary::make_default();
+  const Cell& x1 = lib.at(*lib.find("INV_X1"));
+  const Cell& x4 = lib.at(*lib.find("INV_X4"));
+  EXPECT_GT(x1.drive_resistance, x4.drive_resistance);
+  EXPECT_LT(x1.input_cap, x4.input_cap);
+}
+
+TEST(Library, DelayIncreasesWithLoadAndSlew) {
+  const CellLibrary lib = CellLibrary::make_default();
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const Cell& c = lib.at(i);
+    const double d_small = c.arc.delay.lookup(10e-12, 1e-15);
+    const double d_big_load = c.arc.delay.lookup(10e-12, 30e-15);
+    const double d_slow_in = c.arc.delay.lookup(200e-12, 1e-15);
+    EXPECT_LT(d_small, d_big_load) << c.name;
+    EXPECT_LT(d_small, d_slow_in) << c.name;
+    EXPECT_GT(d_small, 0.0) << c.name;
+  }
+}
+
+TEST(Library, OutputSlewIncreasesWithLoad) {
+  const CellLibrary lib = CellLibrary::make_default();
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const Cell& c = lib.at(i);
+    EXPECT_LT(c.arc.output_slew.lookup(20e-12, 1e-15),
+              c.arc.output_slew.lookup(20e-12, 40e-15))
+        << c.name;
+  }
+}
+
+TEST(Library, StrongerDriveIsFasterAtSameLoad) {
+  const CellLibrary lib = CellLibrary::make_default();
+  const Cell& x1 = lib.at(*lib.find("BUF_X1"));
+  const Cell& x8 = lib.at(*lib.find("BUF_X8"));
+  EXPECT_GT(x1.arc.delay.lookup(20e-12, 20e-15),
+            x8.arc.delay.lookup(20e-12, 20e-15));
+}
+
+TEST(Library, FunctionMetadataConsistent) {
+  EXPECT_TRUE(is_sequential(CellFunction::kDff));
+  EXPECT_FALSE(is_sequential(CellFunction::kNand2));
+  EXPECT_EQ(input_count(CellFunction::kInv), 1u);
+  EXPECT_EQ(input_count(CellFunction::kNand2), 2u);
+  EXPECT_EQ(input_count(CellFunction::kMux2), 3u);
+  EXPECT_STREQ(to_string(CellFunction::kAoi21), "AOI21");
+}
+
+TEST(Library, DeterministicConstruction) {
+  const CellLibrary a = CellLibrary::make_default();
+  const CellLibrary b = CellLibrary::make_default();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).name, b.at(i).name);
+    EXPECT_DOUBLE_EQ(a.at(i).drive_resistance, b.at(i).drive_resistance);
+    EXPECT_DOUBLE_EQ(a.at(i).arc.delay.lookup(20e-12, 5e-15),
+                     b.at(i).arc.delay.lookup(20e-12, 5e-15));
+  }
+}
+
+}  // namespace

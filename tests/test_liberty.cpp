@@ -1,0 +1,95 @@
+// Liberty-subset writer/parser round-trip and robustness tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cell/liberty.hpp"
+
+namespace {
+
+using namespace gnntrans::cell;
+
+TEST(Liberty, RoundTripPreservesEveryCell) {
+  const CellLibrary original = CellLibrary::make_default();
+  std::istringstream in(to_liberty(original));
+  const LibertyParseResult parsed = parse_liberty(in);
+  for (const std::string& w : parsed.warnings) ADD_FAILURE() << w;
+  ASSERT_EQ(parsed.cells.size(), original.size());
+
+  const CellLibrary reloaded = library_from_cells(parsed.cells);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Cell& a = original.at(i);
+    const Cell& b = reloaded.at(i);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.function, b.function);
+    EXPECT_EQ(a.drive_strength, b.drive_strength);
+    EXPECT_NEAR(a.drive_resistance, b.drive_resistance, 1e-6 * a.drive_resistance);
+    EXPECT_NEAR(a.input_cap, b.input_cap, 1e-6 * a.input_cap);
+  }
+}
+
+TEST(Liberty, RoundTripPreservesNldmLookups) {
+  const CellLibrary original = CellLibrary::make_default();
+  std::istringstream in(to_liberty(original));
+  const CellLibrary reloaded = library_from_cells(parse_liberty(in).cells);
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    for (double slew : {8e-12, 33e-12, 120e-12}) {
+      for (double cap : {0.8e-15, 4e-15, 30e-15}) {
+        EXPECT_NEAR(original.at(i).arc.delay.lookup(slew, cap),
+                    reloaded.at(i).arc.delay.lookup(slew, cap), 1e-16)
+            << original.at(i).name;
+        EXPECT_NEAR(original.at(i).arc.output_slew.lookup(slew, cap),
+                    reloaded.at(i).arc.output_slew.lookup(slew, cap), 1e-16);
+      }
+    }
+  }
+}
+
+TEST(Liberty, RoundTripPreservesComboSeqSplit) {
+  const CellLibrary original = CellLibrary::make_default();
+  std::istringstream in(to_liberty(original));
+  const CellLibrary reloaded = library_from_cells(parse_liberty(in).cells);
+  EXPECT_EQ(reloaded.combinational().size(), original.combinational().size());
+  EXPECT_EQ(reloaded.sequential().size(), original.sequential().size());
+}
+
+TEST(Liberty, UnknownFunctionCellIsSkippedWithWarning) {
+  std::istringstream in(
+      "library (x) {\n  cell (WEIRD_X1) {\n    cell_function : FROB;\n  }\n}\n");
+  const LibertyParseResult r = parse_liberty(in);
+  EXPECT_TRUE(r.cells.empty());
+  ASSERT_FALSE(r.warnings.empty());
+  EXPECT_NE(r.warnings.front().find("WEIRD_X1"), std::string::npos);
+}
+
+TEST(Liberty, MissingTablesSkippedWithWarning) {
+  std::istringstream in(
+      "library (x) {\n  cell (INV_X1) {\n    cell_function : INV;\n"
+      "    pin (A) { direction : input; capacitance : 1.0; }\n  }\n}\n");
+  const LibertyParseResult r = parse_liberty(in);
+  EXPECT_TRUE(r.cells.empty());
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(Liberty, UnterminatedGroupThrows) {
+  std::istringstream in("library (x) {\n  cell (INV_X1) {\n");
+  EXPECT_THROW(parse_liberty(in), std::runtime_error);
+}
+
+TEST(Liberty, CommentsAreIgnored)  {
+  std::istringstream in(
+      "/* header */ library (x) { /* inner */ time_unit : 1ps; }\n");
+  const LibertyParseResult r = parse_liberty(in);
+  EXPECT_TRUE(r.cells.empty());
+  EXPECT_TRUE(r.warnings.empty());
+}
+
+TEST(Liberty, NonLibraryTopGroupWarns) {
+  std::istringstream in("design (x) { }\n");
+  const LibertyParseResult r = parse_liberty(in);
+  EXPECT_TRUE(r.cells.empty());
+  ASSERT_FALSE(r.warnings.empty());
+}
+
+}  // namespace

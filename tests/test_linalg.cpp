@@ -1,0 +1,197 @@
+// Unit and property tests for the dense/sparse numerical kernels.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/sparse.hpp"
+
+namespace {
+
+using namespace gnntrans::linalg;
+
+Matrix random_matrix(std::size_t n, std::mt19937_64& rng, double scale = 1.0) {
+  std::uniform_real_distribution<double> dist(-scale, scale);
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = dist(rng);
+  return m;
+}
+
+/// Random SPD matrix: A = B B^T + n I.
+Matrix random_spd(std::size_t n, std::mt19937_64& rng) {
+  const Matrix b = random_matrix(n, rng);
+  Matrix a = b.matmul(b.transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+std::vector<double> random_vector(std::size_t n, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i3(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MatvecMatchesManualComputation) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const std::vector<double> x{1.0, 0.5, -1.0};
+  const std::vector<double> y = a.matvec(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0 + 2.5 - 6.0);
+}
+
+TEST(Matrix, MatmulAgainstHandComputedProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  std::mt19937_64 rng(1);
+  const Matrix a = random_matrix(5, rng);
+  const Matrix att = a.transposed().transposed();
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) EXPECT_DOUBLE_EQ(a(r, c), att(r, c));
+}
+
+TEST(Matrix, IdentityIsMatmulNeutral) {
+  std::mt19937_64 rng(2);
+  const Matrix a = random_matrix(4, rng);
+  const Matrix prod = a.matmul(Matrix::identity(4));
+  EXPECT_NEAR(max_abs_diff(a.data(), prod.data()), 0.0, 1e-15);
+}
+
+TEST(VectorOps, DotAndNormAgree) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(v, v), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+  std::vector<double> y{1.0, 1.0};
+  const std::vector<double> x{2.0, -1.0};
+  axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+}
+
+class LuSeeded : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSeeded, SolveReconstructsRhs) {
+  std::mt19937_64 rng(GetParam());
+  for (std::size_t n : {2u, 5u, 12u, 30u}) {
+    Matrix a = random_matrix(n, rng);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 2.0 * n;  // well-conditioned
+    const std::vector<double> x_true = random_vector(n, rng);
+    const std::vector<double> b = a.matvec(x_true);
+    const auto lu = LuFactor::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    const std::vector<double> x = lu->solve(b);
+    EXPECT_LT(max_abs_diff(x, x_true), 1e-9) << "n=" << n;
+  }
+}
+
+TEST_P(LuSeeded, CholeskyMatchesLuOnSpd) {
+  std::mt19937_64 rng(GetParam() + 100);
+  const std::size_t n = 10;
+  const Matrix a = random_spd(n, rng);
+  const std::vector<double> b = random_vector(n, rng);
+  const auto lu = LuFactor::factor(a);
+  const auto chol = CholeskyFactor::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_LT(max_abs_diff(lu->solve(b), chol->solve(b)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuSeeded, ::testing::Range(1, 9));
+
+TEST(Lu, DetectsSingularMatrix) {
+  Matrix a(3, 3);  // rank 1
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = static_cast<double>(r + 1);
+  EXPECT_FALSE(LuFactor::factor(a).has_value());
+}
+
+TEST(Lu, HandlesPermutationRequiredPivot) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const auto lu = LuFactor::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const std::vector<double> x = lu->solve(std::vector<double>{3.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor::factor(a).has_value());
+}
+
+TEST(Csr, FromTripletsSumsDuplicates) {
+  std::vector<Triplet> t{{0, 0, 1.0}, {0, 0, 2.0}, {1, 0, -1.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(2, t);
+  EXPECT_EQ(m.nnz(), 2u);
+  const std::vector<double> y = m.matvec(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Csr, DiagonalExtractsPresentAndAbsentEntries) {
+  std::vector<Triplet> t{{0, 0, 4.0}, {1, 0, 1.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(2, t);
+  const std::vector<double> d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+}
+
+class CgSeeded : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgSeeded, MatchesDenseCholeskyOnSpdSystem) {
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = 20;
+  const Matrix a = random_spd(n, rng);
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      triplets.push_back({r, c, a(r, c)});
+  const CsrMatrix sparse = CsrMatrix::from_triplets(n, triplets);
+  const std::vector<double> b = random_vector(n, rng);
+
+  const CgResult cg = conjugate_gradient(sparse, b, 1e-12);
+  ASSERT_TRUE(cg.converged);
+  const auto chol = CholeskyFactor::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_LT(max_abs_diff(cg.x, chol->solve(b)), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgSeeded, ::testing::Range(1, 7));
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  const CsrMatrix m = CsrMatrix::from_triplets(3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  const CgResult r = conjugate_gradient(m, std::vector<double>(3, 0.0));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0u);
+  for (double v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Tests for design generation, STA propagation, and DAG path counting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/design.hpp"
+#include "netlist/generate.hpp"
+#include "netlist/sta.hpp"
+#include "rcnet/paths.hpp"
+
+namespace {
+
+using namespace gnntrans;
+using namespace gnntrans::netlist;
+
+DesignGenConfig small_config(std::uint64_t seed = 5) {
+  DesignGenConfig cfg;
+  cfg.startpoints = 6;
+  cfg.levels = 4;
+  cfg.cells_per_level = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(DesignGen, GeneratedDesignValidates) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(), lib, "tiny");
+  EXPECT_TRUE(d.validate().empty());
+  EXPECT_GT(d.cell_count(), 0u);
+  EXPECT_GT(d.net_count(), 0u);
+  EXPECT_FALSE(d.startpoints.empty());
+  EXPECT_FALSE(d.endpoints.empty());
+}
+
+TEST(DesignGen, EveryNonEndpointDrivesANet) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(7), lib, "t");
+  std::vector<bool> endpoint(d.cell_count(), false);
+  for (InstanceId e : d.endpoints) endpoint[e] = true;
+  for (InstanceId v = 0; v < d.cell_count(); ++v) {
+    if (endpoint[v])
+      EXPECT_EQ(d.driven_net[v], Design::kNoNet);
+    else
+      EXPECT_NE(d.driven_net[v], Design::kNoNet) << "instance " << v;
+  }
+}
+
+TEST(DesignGen, FaninComesFromLowerLevels) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(9), lib, "t");
+  for (const DesignNet& net : d.nets) {
+    const std::uint32_t driver_level = d.instances[net.driver].level;
+    for (InstanceId load : net.loads)
+      EXPECT_GT(d.instances[load].level, driver_level);
+  }
+}
+
+TEST(DesignGen, NetFanoutMatchesLoadCount) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(11), lib, "t");
+  for (const DesignNet& net : d.nets)
+    EXPECT_EQ(net.rc.sinks.size(), net.loads.size());
+}
+
+TEST(DesignGen, DeterministicForSeed) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design a = generate_design(small_config(3), lib, "t");
+  const Design b = generate_design(small_config(3), lib, "t");
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (std::size_t i = 0; i < a.nets.size(); ++i)
+    EXPECT_EQ(a.nets[i].loads, b.nets[i].loads);
+}
+
+TEST(DesignGen, StatsCountFlipFlops) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(13), lib, "t");
+  const DesignStats s = compute_design_stats(d, sequential_flags(d, lib));
+  EXPECT_EQ(s.cells, d.cell_count());
+  EXPECT_EQ(s.nets, d.net_count());
+  EXPECT_EQ(s.constrained_paths, d.endpoints.size());
+  // Launch + capture FFs.
+  EXPECT_GE(s.ffs, d.startpoints.size() + d.endpoints.size());
+}
+
+TEST(PaperBenchmarks, AllEighteenPresent) {
+  const auto specs = paper_benchmarks();
+  EXPECT_EQ(specs.size(), 18u);
+  const std::size_t train_count = static_cast<std::size_t>(
+      std::count_if(specs.begin(), specs.end(),
+                    [](const BenchmarkSpec& s) { return s.training; }));
+  EXPECT_EQ(train_count, 11u);
+  // Names must match Table II.
+  EXPECT_EQ(specs.front().name, "PCI_BRIDGE");
+  EXPECT_EQ(specs.back().name, "OPENGFX");
+}
+
+TEST(PaperBenchmarks, SizeScalesWithPaperCells) {
+  const auto specs = paper_benchmarks(1.0);
+  const auto lib = cell::CellLibrary::make_default();
+  const Design small = generate_design(specs[0].config, lib, specs[0].name);
+  // LEON3MP (index 10) is ~275x larger than PCI_BRIDGE in the paper.
+  const Design large = generate_design(specs[10].config, lib, specs[10].name);
+  EXPECT_GT(large.cell_count(), 3 * small.cell_count());
+}
+
+// ---- STA ----
+
+TEST(Sta, ArrivalsArePositiveAndFinite) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(17), lib, "t");
+  sim::TransientConfig tc;
+  tc.steps = 400;
+  GoldenWireSource wire(tc);
+  const StaResult r = run_sta(d, lib, wire);
+  ASSERT_EQ(r.endpoint_arrival.size(), d.endpoints.size());
+  for (double a : r.endpoint_arrival) {
+    EXPECT_GT(a, 0.0);
+    EXPECT_LT(a, 1e-6);  // well under a microsecond
+  }
+}
+
+TEST(Sta, EndpointArrivalAtLeastMaxFaninStageDelay) {
+  // Arrival accumulates along levels: endpoints see at least one gate delay.
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(19), lib, "t");
+  sim::TransientConfig tc;
+  tc.steps = 400;
+  GoldenWireSource wire(tc);
+  const StaResult r = run_sta(d, lib, wire);
+  const double min_gate = 1e-12;
+  for (double a : r.endpoint_arrival) EXPECT_GT(a, min_gate);
+}
+
+TEST(Sta, WireSecondsTrackedSeparately) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(23), lib, "t");
+  sim::TransientConfig tc;
+  tc.steps = 400;
+  GoldenWireSource wire(tc);
+  const StaResult r = run_sta(d, lib, wire);
+  EXPECT_GT(r.wire_seconds, 0.0);
+  EXPECT_GE(r.gate_seconds, 0.0);
+  EXPECT_EQ(wire.stats().nets_timed, d.net_count());
+}
+
+TEST(Sta, DeterministicRepeatRuns) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design d = generate_design(small_config(29), lib, "t");
+  sim::TransientConfig tc;
+  tc.steps = 400;
+  GoldenWireSource w1(tc), w2(tc);
+  const StaResult r1 = run_sta(d, lib, w1);
+  const StaResult r2 = run_sta(d, lib, w2);
+  ASSERT_EQ(r1.endpoint_arrival.size(), r2.endpoint_arrival.size());
+  for (std::size_t i = 0; i < r1.endpoint_arrival.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.endpoint_arrival[i], r2.endpoint_arrival[i]);
+}
+
+// ---- Path counting (Fig. 2a) ----
+
+TEST(PathCount, HandBuiltDiamondNetlist) {
+  // start -> {a, b} -> join -> endpoint: 2 paths.
+  const auto lib = cell::CellLibrary::make_default();
+  Design d;
+  d.name = "hand";
+  const std::uint32_t buf = static_cast<std::uint32_t>(*lib.find("BUF_X1"));
+  const std::uint32_t nand = static_cast<std::uint32_t>(*lib.find("NAND2_X1"));
+  const std::uint32_t dff = static_cast<std::uint32_t>(*lib.find("DFF_X1"));
+  d.instances = {{dff, 0}, {buf, 1}, {buf, 1}, {nand, 2}, {dff, 3}};
+  d.startpoints = {0};
+  d.endpoints = {4};
+  auto mk_net = [](rcnet::NodeId sinks) {
+    rcnet::RcNet rc;
+    rc.source = 0;
+    rc.ground_cap.assign(sinks + 1, 1e-15);
+    for (rcnet::NodeId v = 1; v <= sinks; ++v) {
+      rc.resistors.push_back({0, v, 10.0});
+      rc.sinks.push_back(v);
+    }
+    return rc;
+  };
+  d.nets.push_back({mk_net(2), 0, {1, 2}});
+  d.nets.push_back({mk_net(1), 1, {3}});
+  d.nets.push_back({mk_net(1), 2, {3}});
+  d.nets.push_back({mk_net(1), 3, {4}});
+  d.driven_net = {0, 1, 2, 3, Design::kNoNet};
+  ASSERT_TRUE(d.validate().empty());
+  EXPECT_DOUBLE_EQ(count_netlist_paths(d), 2.0);
+}
+
+TEST(PathCount, GrowsMuchFasterThanWirePaths) {
+  // The Fig. 2 contrast: netlist paths explode, wire paths stay tiny.
+  const auto lib = cell::CellLibrary::make_default();
+  DesignGenConfig cfg = small_config(31);
+  cfg.levels = 11;
+  cfg.cells_per_level = 32;
+  const Design d = generate_design(cfg, lib, "t");
+  const double netlist_paths = count_netlist_paths(d);
+  std::uint64_t max_wire_paths = 0;
+  for (const DesignNet& net : d.nets)
+    max_wire_paths =
+        std::max(max_wire_paths, rcnet::count_simple_paths(net.rc, 10'000));
+  EXPECT_GT(netlist_paths, 50.0 * static_cast<double>(max_wire_paths));
+}
+
+TEST(PathCount, MonotoneInDepth) {
+  const auto lib = cell::CellLibrary::make_default();
+  DesignGenConfig shallow = small_config(37);
+  shallow.levels = 3;
+  DesignGenConfig deep = small_config(37);
+  deep.levels = 9;
+  EXPECT_LT(count_netlist_paths(generate_design(shallow, lib, "s")),
+            count_netlist_paths(generate_design(deep, lib, "d")));
+}
+
+}  // namespace

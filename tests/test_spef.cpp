@@ -1,0 +1,138 @@
+// SPEF writer/parser round-trip and robustness tests.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "rcnet/generate.hpp"
+#include "rcnet/spef.hpp"
+
+namespace {
+
+using namespace gnntrans::rcnet;
+
+RcNet sample_net(std::uint64_t seed = 3) {
+  std::mt19937_64 rng(seed);
+  NetGenConfig cfg;
+  cfg.coupling_prob = 1.0;  // exercise coupling caps in SPEF
+  return generate_net(cfg, rng, "top/u1/n42");
+}
+
+void expect_nets_equal(const RcNet& a, const RcNet& b, double tol = 1e-12) {
+  EXPECT_EQ(a.name, b.name);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.sinks, b.sinks);
+  ASSERT_EQ(a.resistors.size(), b.resistors.size());
+  for (std::size_t i = 0; i < a.resistors.size(); ++i) {
+    EXPECT_EQ(a.resistors[i].a, b.resistors[i].a);
+    EXPECT_EQ(a.resistors[i].b, b.resistors[i].b);
+    EXPECT_NEAR(a.resistors[i].ohms, b.resistors[i].ohms, tol * a.resistors[i].ohms);
+  }
+  for (std::size_t i = 0; i < a.node_count(); ++i)
+    EXPECT_NEAR(a.ground_cap[i], b.ground_cap[i], tol);
+  ASSERT_EQ(a.couplings.size(), b.couplings.size());
+  for (std::size_t i = 0; i < a.couplings.size(); ++i) {
+    EXPECT_EQ(a.couplings[i].victim_node, b.couplings[i].victim_node);
+    EXPECT_EQ(a.couplings[i].aggressor_seed, b.couplings[i].aggressor_seed);
+    EXPECT_NEAR(a.couplings[i].farads, b.couplings[i].farads, tol);
+  }
+}
+
+class SpefRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpefRoundTrip, WriteParseIdentity) {
+  const RcNet net = sample_net(GetParam());
+  const auto parsed = net_from_spef(to_spef(net));
+  ASSERT_TRUE(parsed.has_value());
+  expect_nets_equal(net, *parsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpefRoundTrip, ::testing::Range(1, 13));
+
+TEST(Spef, MultipleNetsRoundTrip) {
+  std::mt19937_64 rng(5);
+  NetGenConfig cfg;
+  std::vector<RcNet> nets;
+  for (int i = 0; i < 5; ++i)
+    nets.push_back(generate_net(cfg, rng, "n" + std::to_string(i)));
+
+  std::ostringstream out;
+  out.precision(17);
+  write_spef(out, nets);
+  std::istringstream in(out.str());
+  const SpefParseResult result = parse_spef(in);
+  EXPECT_TRUE(result.warnings.empty());
+  ASSERT_EQ(result.nets.size(), nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    expect_nets_equal(nets[i], result.nets[i]);
+}
+
+TEST(Spef, ParsedNetsPassValidation) {
+  const RcNet net = sample_net(17);
+  const auto parsed = net_from_spef(to_spef(net));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->validate().empty());
+}
+
+TEST(Spef, EmptyDocumentYieldsNoNets) {
+  std::istringstream in("*SPEF \"x\"\n*DESIGN \"y\"\n");
+  const SpefParseResult result = parse_spef(in);
+  EXPECT_TRUE(result.nets.empty());
+}
+
+TEST(Spef, NetWithoutCapsIsDroppedWithWarning) {
+  std::istringstream in("*D_NET foo 0.0\n*CONN\n*END\n");
+  const SpefParseResult result = parse_spef(in);
+  EXPECT_TRUE(result.nets.empty());
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings.front().find("foo"), std::string::npos);
+}
+
+TEST(Spef, DisconnectedNetIsRejected) {
+  // Two caps, no resistor: structurally invalid.
+  std::istringstream in(
+      "*D_NET bad 2.0\n*CONN\n*I bad:0 I\n*I bad:1 O\n"
+      "*CAP\n1 bad:0 1.0\n2 bad:1 1.0\n*RES\n*END\n");
+  const SpefParseResult result = parse_spef(in);
+  EXPECT_TRUE(result.nets.empty());
+  EXPECT_FALSE(result.warnings.empty());
+}
+
+TEST(Spef, MinimalHandWrittenNetParses) {
+  std::istringstream in(
+      "*D_NET n1 3.0\n*CONN\n*I n1:0 I\n*I n1:1 O\n"
+      "*CAP\n1 n1:0 1.5\n2 n1:1 1.5\n*RES\n1 n1:0 n1:1 25.0\n*END\n");
+  const SpefParseResult result = parse_spef(in);
+  ASSERT_EQ(result.nets.size(), 1u);
+  const RcNet& net = result.nets.front();
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.source, 0u);
+  ASSERT_EQ(net.sinks.size(), 1u);
+  EXPECT_NEAR(net.ground_cap[0], 1.5e-15, 1e-20);
+  EXPECT_DOUBLE_EQ(net.resistors[0].ohms, 25.0);
+}
+
+TEST(Spef, SparseNodeIndicesAreCompacted) {
+  // Node indices 0 and 7 should remap to 0 and 1.
+  std::istringstream in(
+      "*D_NET n1 3.0\n*CONN\n*I n1:0 I\n*I n1:7 O\n"
+      "*CAP\n1 n1:0 1.0\n2 n1:7 2.0\n*RES\n1 n1:0 n1:7 10.0\n*END\n");
+  const SpefParseResult result = parse_spef(in);
+  ASSERT_EQ(result.nets.size(), 1u);
+  EXPECT_EQ(result.nets[0].node_count(), 2u);
+  EXPECT_EQ(result.nets[0].sinks[0], 1u);
+}
+
+TEST(Spef, ForeignNodeNamesAreSkippedGracefully) {
+  // A resistor referencing another net's node is ignored; net stays valid.
+  std::istringstream in(
+      "*D_NET n1 3.0\n*CONN\n*I n1:0 I\n*I n1:1 O\n"
+      "*CAP\n1 n1:0 1.0\n2 n1:1 1.0\n"
+      "*RES\n1 n1:0 n1:1 10.0\n2 n1:1 other:3 99.0\n*END\n");
+  const SpefParseResult result = parse_spef(in);
+  ASSERT_EQ(result.nets.size(), 1u);
+  EXPECT_EQ(result.nets[0].resistors.size(), 1u);
+}
+
+}  // namespace

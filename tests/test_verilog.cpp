@@ -1,0 +1,150 @@
+// Verilog-subset writer/parser round-trip tests, plus the combined
+// Verilog + SPEF design-exchange flow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "netlist/generate.hpp"
+#include "netlist/sta.hpp"
+#include "netlist/verilog.hpp"
+#include "rcnet/spef.hpp"
+
+namespace {
+
+using namespace gnntrans;
+using namespace gnntrans::netlist;
+
+Design make_design(std::uint64_t seed = 7) {
+  DesignGenConfig cfg;
+  cfg.startpoints = 5;
+  cfg.levels = 4;
+  cfg.cells_per_level = 7;
+  cfg.seed = seed;
+  const auto lib = cell::CellLibrary::make_default();
+  return generate_design(cfg, lib, "rt_core");
+}
+
+TEST(Verilog, RoundTripPreservesStructure) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design original = make_design();
+  std::istringstream in(to_verilog(original, lib));
+  const VerilogParseResult parsed = parse_verilog(in, lib);
+  for (const std::string& w : parsed.warnings) ADD_FAILURE() << w;
+
+  EXPECT_EQ(parsed.design.name, original.name);
+  EXPECT_EQ(parsed.design.cell_count(), original.cell_count());
+  EXPECT_EQ(parsed.design.net_count(), original.net_count());
+  EXPECT_EQ(parsed.design.startpoints.size(), original.startpoints.size());
+  EXPECT_EQ(parsed.design.endpoints.size(), original.endpoints.size());
+  EXPECT_TRUE(parsed.design.validate().empty());
+}
+
+TEST(Verilog, RoundTripPreservesCellBindings) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design original = make_design(9);
+  std::istringstream in(to_verilog(original, lib));
+  const Design parsed = parse_verilog(in, lib).design;
+  ASSERT_EQ(parsed.cell_count(), original.cell_count());
+  // Instances are emitted in id order, so bindings must match positionally.
+  for (InstanceId u = 0; u < original.cell_count(); ++u)
+    EXPECT_EQ(parsed.instances[u].cell_index, original.instances[u].cell_index)
+        << "instance " << u;
+}
+
+TEST(Verilog, RoundTripPreservesConnectivity) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design original = make_design(11);
+  std::istringstream in(to_verilog(original, lib));
+  const Design parsed = parse_verilog(in, lib).design;
+  ASSERT_EQ(parsed.net_count(), original.net_count());
+  // Nets may be reordered (map by name); loads must match as multisets.
+  std::map<std::string, std::vector<InstanceId>> original_loads;
+  for (const DesignNet& net : original.nets) {
+    auto loads = net.loads;
+    std::sort(loads.begin(), loads.end());
+    original_loads[net.rc.name] = loads;
+  }
+  for (const DesignNet& net : parsed.nets) {
+    auto loads = net.loads;
+    std::sort(loads.begin(), loads.end());
+    ASSERT_TRUE(original_loads.count(net.rc.name)) << net.rc.name;
+    EXPECT_EQ(loads, original_loads[net.rc.name]) << net.rc.name;
+  }
+}
+
+TEST(Verilog, UnknownCellSkippedWithWarning) {
+  const auto lib = cell::CellLibrary::make_default();
+  std::istringstream in(
+      "module m ();\n  wire a;\n  BOGUS_X9 u0 (.Y(a));\n  DFF_X1 u1 (.D(a));\n"
+      "endmodule\n");
+  const VerilogParseResult r = parse_verilog(in, lib);
+  ASSERT_FALSE(r.warnings.empty());
+  EXPECT_NE(r.warnings.front().find("BOGUS_X9"), std::string::npos);
+}
+
+TEST(Verilog, CommentsIgnored) {
+  const auto lib = cell::CellLibrary::make_default();
+  std::istringstream in(
+      "// top comment\nmodule m ();\n  wire w; // trailing\n"
+      "  DFF_X1 u0 (.Q(w));\n  DFF_X1 u1 (.D(w));\nendmodule\n");
+  const VerilogParseResult r = parse_verilog(in, lib);
+  EXPECT_TRUE(r.warnings.empty());
+  EXPECT_EQ(r.design.cell_count(), 2u);
+  EXPECT_EQ(r.design.net_count(), 1u);
+}
+
+TEST(VerilogSpef, CombinedExchangeReproducesStaArrivals) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design original = make_design(13);
+
+  // Handoff: write Verilog + SPEF.
+  std::ostringstream verilog_out;
+  write_verilog(verilog_out, original, lib);
+  std::vector<rcnet::RcNet> rc_nets;
+  for (const DesignNet& net : original.nets) rc_nets.push_back(net.rc);
+  std::ostringstream spef_out;
+  spef_out.precision(17);
+  rcnet::write_spef(spef_out, rc_nets);
+
+  // Consumption: parse both, join, and time.
+  std::istringstream verilog_in(verilog_out.str());
+  VerilogParseResult parsed = parse_verilog(verilog_in, lib);
+  std::istringstream spef_in(spef_out.str());
+  const rcnet::SpefParseResult spef = rcnet::parse_spef(spef_in);
+  std::vector<std::string> warnings;
+  attach_spef(parsed.design, spef.nets, &warnings);
+  for (const std::string& w : warnings) ADD_FAILURE() << w;
+  ASSERT_TRUE(parsed.design.validate().empty());
+
+  sim::TransientConfig tc;
+  tc.steps = 400;
+  GoldenWireSource w1(tc), w2(tc);
+  const StaResult ref = run_sta(original, lib, w1);
+  const StaResult got = run_sta(parsed.design, lib, w2);
+  ASSERT_EQ(ref.endpoint_arrival.size(), got.endpoint_arrival.size());
+  // Endpoint sets may be ordered differently; compare as sorted multisets.
+  auto a = ref.endpoint_arrival;
+  auto b = got.endpoint_arrival;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], 1e-15 + 1e-9 * a[i]) << "endpoint rank " << i;
+}
+
+TEST(VerilogSpef, MissingSpefNetKeepsFallbackWithWarning) {
+  const auto lib = cell::CellLibrary::make_default();
+  const Design original = make_design(17);
+  std::istringstream verilog_in(to_verilog(original, lib));
+  VerilogParseResult parsed = parse_verilog(verilog_in, lib);
+
+  std::vector<std::string> warnings;
+  attach_spef(parsed.design, {}, &warnings);  // empty SPEF
+  EXPECT_EQ(warnings.size(), parsed.design.net_count());
+  // Star fallbacks still produce a valid, timeable design.
+  EXPECT_TRUE(parsed.design.validate().empty());
+}
+
+}  // namespace

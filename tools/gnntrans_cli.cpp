@@ -1,0 +1,325 @@
+// gnntrans_cli — command-line front end for the wire timing estimator.
+//
+// Subcommands:
+//   generate  --nets N [--seed S] [--non-tree F] --spef OUT
+//       Emit synthetic extracted parasitics (SPEF).
+//   design    [--seed S] [--cells N] --verilog OUT --spef OUT
+//       Emit a routed-design handoff pair (structural Verilog + SPEF).
+//   libgen    --liberty OUT
+//       Dump the default cell library in the Liberty subset.
+//   train     --spef IN --model OUT [--epochs E] [--arch NAME] [--seed S]
+//       Label the given nets with the golden timer and train an estimator.
+//       Arch: gnntrans (default), graphsage, gcnii, gat, transformer.
+//   eval      --spef IN --model IN
+//       Score a trained model against golden timing on the given nets.
+//   predict   --spef IN --model IN
+//       Per-path slew/delay report for every net (no golden timing).
+//   sta       --verilog IN --spef IN [--model IN] [--paths K]
+//       Full-design arrival report; wire timing from the golden simulator,
+//       or from the trained model when --model is given. --paths K appends a
+//       sign-off style report of the K worst paths.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "cell/liberty.hpp"
+#include "core/estimator.hpp"
+#include "core/metrics.hpp"
+#include "features/dataset.hpp"
+#include "netlist/generate.hpp"
+#include "netlist/report.hpp"
+#include "netlist/sta.hpp"
+#include "netlist/verilog.hpp"
+#include "rcnet/generate.hpp"
+#include "rcnet/spef.hpp"
+
+using namespace gnntrans;
+
+namespace {
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) {
+      std::fprintf(stderr, "error: missing --%s\n", key.c_str());
+      std::exit(1);
+    }
+    return *v;
+  }
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
+    const auto v = get(key);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<rcnet::RcNet> load_spef(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  rcnet::SpefParseResult result = rcnet::parse_spef(in);
+  for (const std::string& w : result.warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  if (result.nets.empty()) {
+    std::fprintf(stderr, "error: no nets in %s\n", path.c_str());
+    std::exit(2);
+  }
+  return result.nets;
+}
+
+/// Deterministic per-net context: seeded by the net name so predict/eval of
+/// the same file always time the same scenario.
+features::NetContext context_for(const cell::CellLibrary& library,
+                                 const rcnet::RcNet& net) {
+  std::mt19937_64 rng(std::hash<std::string>{}(net.name));
+  return features::random_context(library, net, rng);
+}
+
+std::vector<features::WireRecord> label_nets(const std::vector<rcnet::RcNet>& nets,
+                                             const cell::CellLibrary& library) {
+  sim::GoldenTimer timer{sim::TransientConfig{}};
+  std::vector<features::WireRecord> records;
+  records.reserve(nets.size());
+  for (const rcnet::RcNet& net : nets) {
+    if (!net.validate().empty()) continue;
+    records.push_back(
+        features::make_record(net, context_for(library, net), timer));
+  }
+  std::fprintf(stderr, "labeled %zu nets with the golden timer (%.2f s)\n",
+               records.size(), timer.stats().wall_seconds);
+  return records;
+}
+
+nn::ModelKind arch_from_name(const std::string& name) {
+  if (name == "gnntrans") return nn::ModelKind::kGnnTrans;
+  if (name == "graphsage") return nn::ModelKind::kGraphSage;
+  if (name == "gcnii") return nn::ModelKind::kGcnii;
+  if (name == "gat") return nn::ModelKind::kGat;
+  if (name == "transformer") return nn::ModelKind::kGraphTransformer;
+  std::fprintf(stderr, "error: unknown --arch '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+int cmd_generate(const Args& args) {
+  rcnet::NetGenConfig cfg;
+  cfg.non_tree_fraction = args.get_double("non-tree", cfg.non_tree_fraction);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  const long count = args.get_long("nets", 100);
+
+  std::vector<rcnet::RcNet> nets;
+  nets.reserve(static_cast<std::size_t>(count));
+  for (long i = 0; i < count; ++i)
+    nets.push_back(rcnet::generate_net(cfg, rng, "net" + std::to_string(i)));
+
+  const std::string path = args.require("spef");
+  std::ofstream out(path);
+  out.precision(17);
+  rcnet::write_spef(out, nets);
+  std::printf("wrote %ld nets to %s\n", count, path.c_str());
+  return 0;
+}
+
+int cmd_design(const Args& args) {
+  const auto library = cell::CellLibrary::make_default();
+  netlist::DesignGenConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const long cells = args.get_long("cells", 300);
+  cfg.levels = 6;
+  cfg.cells_per_level =
+      std::max<std::uint32_t>(3, static_cast<std::uint32_t>(cells * 0.8 / cfg.levels));
+  cfg.startpoints =
+      std::max<std::uint32_t>(4, static_cast<std::uint32_t>(cells * 0.12));
+  const netlist::Design design =
+      netlist::generate_design(cfg, library, "cli_design");
+
+  {
+    std::ofstream out(args.require("verilog"));
+    netlist::write_verilog(out, design, library);
+  }
+  {
+    std::vector<rcnet::RcNet> nets;
+    for (const netlist::DesignNet& net : design.nets) nets.push_back(net.rc);
+    std::ofstream out(args.require("spef"));
+    out.precision(17);
+    rcnet::write_spef(out, nets);
+  }
+  std::printf("wrote design '%s': %zu cells, %zu nets, %zu endpoints\n",
+              design.name.c_str(), design.cell_count(), design.net_count(),
+              design.endpoints.size());
+  return 0;
+}
+
+int cmd_libgen(const Args& args) {
+  const auto library = cell::CellLibrary::make_default();
+  std::ofstream out(args.require("liberty"));
+  cell::write_liberty(out, library);
+  std::printf("wrote %zu cells\n", library.size());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto library = cell::CellLibrary::make_default();
+  const auto records = label_nets(load_spef(args.require("spef")), library);
+
+  core::WireTimingEstimator::Options opt;
+  opt.kind = arch_from_name(args.get("arch").value_or("gnntrans"));
+  opt.model.hidden_dim = static_cast<std::size_t>(args.get_long("hidden", 16));
+  opt.model.gnn_layers = static_cast<std::size_t>(args.get_long("l1", 4));
+  opt.model.transformer_layers = static_cast<std::size_t>(args.get_long("l2", 2));
+  opt.model.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  opt.train.epochs = static_cast<std::size_t>(args.get_long("epochs", 30));
+  opt.train.on_epoch = [](std::size_t epoch, double loss) {
+    std::fprintf(stderr, "epoch %zu loss %.5f\n", epoch, loss);
+  };
+  const auto estimator = core::WireTimingEstimator::train(records, opt);
+  estimator.save_file(args.require("model"));
+  std::printf("trained %s (%zu parameters) in %.1f s -> %s\n",
+              estimator.model().name().c_str(),
+              estimator.model().parameter_count(),
+              estimator.train_report().wall_seconds,
+              args.require("model").c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const auto library = cell::CellLibrary::make_default();
+  const auto estimator =
+      core::WireTimingEstimator::load_file(args.require("model"));
+  const auto records = label_nets(load_spef(args.require("spef")), library);
+  const core::Evaluation eval = estimator.evaluate(records);
+  std::printf("nets: %zu paths: %zu\n", records.size(), eval.path_count);
+  std::printf("slew  R^2 %.4f   max |err| %.2f ps\n", eval.slew_r2,
+              eval.slew_max_abs * 1e12);
+  std::printf("delay R^2 %.4f   max |err| %.2f ps\n", eval.delay_r2,
+              eval.delay_max_abs * 1e12);
+  std::printf("inference: %.3f s total\n", eval.inference_seconds);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const auto library = cell::CellLibrary::make_default();
+  const auto estimator =
+      core::WireTimingEstimator::load_file(args.require("model"));
+  const auto nets = load_spef(args.require("spef"));
+  std::printf("%-16s %-6s %12s %12s\n", "net", "sink", "delay(ps)", "slew(ps)");
+  for (const rcnet::RcNet& net : nets) {
+    if (!net.validate().empty()) continue;
+    const auto estimates = estimator.estimate(net, context_for(library, net));
+    for (const core::PathEstimate& pe : estimates)
+      std::printf("%-16s %-6u %12.2f %12.2f\n", net.name.c_str(), pe.sink,
+                  pe.delay * 1e12, pe.slew * 1e12);
+  }
+  return 0;
+}
+
+int cmd_sta(const Args& args) {
+  const auto library = cell::CellLibrary::make_default();
+  std::ifstream vin(args.require("verilog"));
+  if (!vin) {
+    std::fprintf(stderr, "error: cannot open verilog input\n");
+    return 2;
+  }
+  netlist::VerilogParseResult parsed = netlist::parse_verilog(vin, library);
+  for (const std::string& w : parsed.warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+
+  const auto spef_nets = load_spef(args.require("spef"));
+  std::vector<std::string> warnings;
+  netlist::attach_spef(parsed.design, spef_nets, &warnings);
+  for (const std::string& w : warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  if (const auto errors = parsed.design.validate(); !errors.empty()) {
+    std::fprintf(stderr, "error: design invalid: %s\n", errors.front().c_str());
+    return 2;
+  }
+
+  netlist::StaResult sta;
+  std::string source_name;
+  std::optional<core::WireTimingEstimator> estimator;
+  if (const auto model_path = args.get("model")) {
+    estimator = core::WireTimingEstimator::load_file(*model_path);
+    core::EstimatorWireSource source(*estimator, parsed.design, library);
+    sta = netlist::run_sta(parsed.design, library, source);
+    source_name = source.name();
+  } else {
+    netlist::GoldenWireSource source{sim::TransientConfig{}};
+    sta = netlist::run_sta(parsed.design, library, source);
+    source_name = source.name();
+  }
+
+  std::printf("wire timing source: %s\n", source_name.c_str());
+  std::printf("gate %.3f s + wire %.3f s\n", sta.gate_seconds, sta.wire_seconds);
+  std::printf("%-10s %14s\n", "endpoint", "arrival(ps)");
+  for (std::size_t e = 0; e < parsed.design.endpoints.size(); ++e)
+    std::printf("u%-9u %14.2f\n", parsed.design.endpoints[e],
+                sta.endpoint_arrival[e] * 1e12);
+
+  const long report_paths = args.get_long("paths", 0);
+  if (report_paths > 0) {
+    std::ostringstream report;
+    netlist::write_timing_report(report, parsed.design, library, sta,
+                                 static_cast<std::size_t>(report_paths));
+    std::printf("\n%s", report.str().c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gnntrans_cli <generate|design|libgen|train|eval|predict|sta> "
+               "[--flag value ...]\n(see the header comment of "
+               "tools/gnntrans_cli.cpp for per-command flags)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "design") return cmd_design(args);
+    if (cmd == "libgen") return cmd_libgen(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "sta") return cmd_sta(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return 1;
+}
