@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analytical.dir/bench_analytical.cpp.o"
+  "CMakeFiles/bench_analytical.dir/bench_analytical.cpp.o.d"
+  "bench_analytical"
+  "bench_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_paths.cpp" "bench/CMakeFiles/bench_fig2_paths.dir/bench_fig2_paths.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_paths.dir/bench_fig2_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gnntrans_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gnntrans_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gnntrans_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/gnntrans_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/gnntrans_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gnntrans_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnntrans_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/gnntrans_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnntrans_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcnet/CMakeFiles/gnntrans_rcnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gnntrans_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oversmoothing.dir/bench_oversmoothing.cpp.o"
+  "CMakeFiles/bench_oversmoothing.dir/bench_oversmoothing.cpp.o.d"
+  "bench_oversmoothing"
+  "bench_oversmoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oversmoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

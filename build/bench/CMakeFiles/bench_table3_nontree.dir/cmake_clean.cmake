@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nontree.dir/bench_table3_nontree.cpp.o"
+  "CMakeFiles/bench_table3_nontree.dir/bench_table3_nontree.cpp.o.d"
+  "bench_table3_nontree"
+  "bench_table3_nontree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nontree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_allnets.dir/bench_table4_allnets.cpp.o"
+  "CMakeFiles/bench_table4_allnets.dir/bench_table4_allnets.cpp.o.d"
+  "bench_table4_allnets"
+  "bench_table4_allnets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_allnets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

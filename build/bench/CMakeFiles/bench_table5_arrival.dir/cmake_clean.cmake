@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_arrival.dir/bench_table5_arrival.cpp.o"
+  "CMakeFiles/bench_table5_arrival.dir/bench_table5_arrival.cpp.o.d"
+  "bench_table5_arrival"
+  "bench_table5_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

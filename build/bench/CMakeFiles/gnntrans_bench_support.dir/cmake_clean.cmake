@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_bench_support.dir/support.cpp.o"
+  "CMakeFiles/gnntrans_bench_support.dir/support.cpp.o.d"
+  "libgnntrans_bench_support.a"
+  "libgnntrans_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

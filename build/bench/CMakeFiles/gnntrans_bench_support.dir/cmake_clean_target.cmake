@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnntrans_bench_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_optimization.dir/incremental_optimization.cpp.o"
+  "CMakeFiles/incremental_optimization.dir/incremental_optimization.cpp.o.d"
+  "incremental_optimization"
+  "incremental_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

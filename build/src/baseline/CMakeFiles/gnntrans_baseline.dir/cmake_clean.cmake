@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_baseline.dir/dac20.cpp.o"
+  "CMakeFiles/gnntrans_baseline.dir/dac20.cpp.o.d"
+  "CMakeFiles/gnntrans_baseline.dir/gbdt.cpp.o"
+  "CMakeFiles/gnntrans_baseline.dir/gbdt.cpp.o.d"
+  "CMakeFiles/gnntrans_baseline.dir/loop_breaking.cpp.o"
+  "CMakeFiles/gnntrans_baseline.dir/loop_breaking.cpp.o.d"
+  "libgnntrans_baseline.a"
+  "libgnntrans_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

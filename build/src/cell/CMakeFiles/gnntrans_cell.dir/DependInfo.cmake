@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/liberty.cpp" "src/cell/CMakeFiles/gnntrans_cell.dir/liberty.cpp.o" "gcc" "src/cell/CMakeFiles/gnntrans_cell.dir/liberty.cpp.o.d"
+  "/root/repo/src/cell/library.cpp" "src/cell/CMakeFiles/gnntrans_cell.dir/library.cpp.o" "gcc" "src/cell/CMakeFiles/gnntrans_cell.dir/library.cpp.o.d"
+  "/root/repo/src/cell/nldm.cpp" "src/cell/CMakeFiles/gnntrans_cell.dir/nldm.cpp.o" "gcc" "src/cell/CMakeFiles/gnntrans_cell.dir/nldm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_cell.dir/liberty.cpp.o"
+  "CMakeFiles/gnntrans_cell.dir/liberty.cpp.o.d"
+  "CMakeFiles/gnntrans_cell.dir/library.cpp.o"
+  "CMakeFiles/gnntrans_cell.dir/library.cpp.o.d"
+  "CMakeFiles/gnntrans_cell.dir/nldm.cpp.o"
+  "CMakeFiles/gnntrans_cell.dir/nldm.cpp.o.d"
+  "libgnntrans_cell.a"
+  "libgnntrans_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_core.dir/estimator.cpp.o"
+  "CMakeFiles/gnntrans_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/gnntrans_core.dir/metrics.cpp.o"
+  "CMakeFiles/gnntrans_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/gnntrans_core.dir/parallel.cpp.o"
+  "CMakeFiles/gnntrans_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/gnntrans_core.dir/trainer.cpp.o"
+  "CMakeFiles/gnntrans_core.dir/trainer.cpp.o.d"
+  "libgnntrans_core.a"
+  "libgnntrans_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

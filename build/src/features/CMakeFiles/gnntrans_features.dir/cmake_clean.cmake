@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_features.dir/dataset.cpp.o"
+  "CMakeFiles/gnntrans_features.dir/dataset.cpp.o.d"
+  "CMakeFiles/gnntrans_features.dir/features.cpp.o"
+  "CMakeFiles/gnntrans_features.dir/features.cpp.o.d"
+  "libgnntrans_features.a"
+  "libgnntrans_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

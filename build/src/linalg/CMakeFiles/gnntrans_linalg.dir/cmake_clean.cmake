@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/gnntrans_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/gnntrans_linalg.dir/solve.cpp.o"
+  "CMakeFiles/gnntrans_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/gnntrans_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/gnntrans_linalg.dir/sparse.cpp.o.d"
+  "libgnntrans_linalg.a"
+  "libgnntrans_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/gnntrans_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/gnntrans_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/generate.cpp" "src/netlist/CMakeFiles/gnntrans_netlist.dir/generate.cpp.o" "gcc" "src/netlist/CMakeFiles/gnntrans_netlist.dir/generate.cpp.o.d"
+  "/root/repo/src/netlist/incremental.cpp" "src/netlist/CMakeFiles/gnntrans_netlist.dir/incremental.cpp.o" "gcc" "src/netlist/CMakeFiles/gnntrans_netlist.dir/incremental.cpp.o.d"
+  "/root/repo/src/netlist/report.cpp" "src/netlist/CMakeFiles/gnntrans_netlist.dir/report.cpp.o" "gcc" "src/netlist/CMakeFiles/gnntrans_netlist.dir/report.cpp.o.d"
+  "/root/repo/src/netlist/sta.cpp" "src/netlist/CMakeFiles/gnntrans_netlist.dir/sta.cpp.o" "gcc" "src/netlist/CMakeFiles/gnntrans_netlist.dir/sta.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/gnntrans_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/gnntrans_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rcnet/CMakeFiles/gnntrans_rcnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/gnntrans_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnntrans_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gnntrans_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

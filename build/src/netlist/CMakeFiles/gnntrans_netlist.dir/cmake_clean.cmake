@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_netlist.dir/design.cpp.o"
+  "CMakeFiles/gnntrans_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/gnntrans_netlist.dir/generate.cpp.o"
+  "CMakeFiles/gnntrans_netlist.dir/generate.cpp.o.d"
+  "CMakeFiles/gnntrans_netlist.dir/incremental.cpp.o"
+  "CMakeFiles/gnntrans_netlist.dir/incremental.cpp.o.d"
+  "CMakeFiles/gnntrans_netlist.dir/report.cpp.o"
+  "CMakeFiles/gnntrans_netlist.dir/report.cpp.o.d"
+  "CMakeFiles/gnntrans_netlist.dir/sta.cpp.o"
+  "CMakeFiles/gnntrans_netlist.dir/sta.cpp.o.d"
+  "CMakeFiles/gnntrans_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/gnntrans_netlist.dir/verilog.cpp.o.d"
+  "libgnntrans_netlist.a"
+  "libgnntrans_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

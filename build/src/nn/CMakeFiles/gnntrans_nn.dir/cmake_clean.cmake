@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_nn.dir/layers.cpp.o"
+  "CMakeFiles/gnntrans_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/gnntrans_nn.dir/models.cpp.o"
+  "CMakeFiles/gnntrans_nn.dir/models.cpp.o.d"
+  "libgnntrans_nn.a"
+  "libgnntrans_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

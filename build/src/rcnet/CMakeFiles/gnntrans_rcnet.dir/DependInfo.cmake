@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rcnet/generate.cpp" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/generate.cpp.o" "gcc" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/generate.cpp.o.d"
+  "/root/repo/src/rcnet/paths.cpp" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/paths.cpp.o" "gcc" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/paths.cpp.o.d"
+  "/root/repo/src/rcnet/rcnet.cpp" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/rcnet.cpp.o" "gcc" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/rcnet.cpp.o.d"
+  "/root/repo/src/rcnet/reduce.cpp" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/reduce.cpp.o" "gcc" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/reduce.cpp.o.d"
+  "/root/repo/src/rcnet/spef.cpp" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/spef.cpp.o" "gcc" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/spef.cpp.o.d"
+  "/root/repo/src/rcnet/stats.cpp" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/stats.cpp.o" "gcc" "src/rcnet/CMakeFiles/gnntrans_rcnet.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/gnntrans_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

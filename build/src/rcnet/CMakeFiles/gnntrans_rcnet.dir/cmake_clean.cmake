@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_rcnet.dir/generate.cpp.o"
+  "CMakeFiles/gnntrans_rcnet.dir/generate.cpp.o.d"
+  "CMakeFiles/gnntrans_rcnet.dir/paths.cpp.o"
+  "CMakeFiles/gnntrans_rcnet.dir/paths.cpp.o.d"
+  "CMakeFiles/gnntrans_rcnet.dir/rcnet.cpp.o"
+  "CMakeFiles/gnntrans_rcnet.dir/rcnet.cpp.o.d"
+  "CMakeFiles/gnntrans_rcnet.dir/reduce.cpp.o"
+  "CMakeFiles/gnntrans_rcnet.dir/reduce.cpp.o.d"
+  "CMakeFiles/gnntrans_rcnet.dir/spef.cpp.o"
+  "CMakeFiles/gnntrans_rcnet.dir/spef.cpp.o.d"
+  "CMakeFiles/gnntrans_rcnet.dir/stats.cpp.o"
+  "CMakeFiles/gnntrans_rcnet.dir/stats.cpp.o.d"
+  "libgnntrans_rcnet.a"
+  "libgnntrans_rcnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_rcnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

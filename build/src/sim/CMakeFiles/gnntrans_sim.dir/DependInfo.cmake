@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/awe.cpp" "src/sim/CMakeFiles/gnntrans_sim.dir/awe.cpp.o" "gcc" "src/sim/CMakeFiles/gnntrans_sim.dir/awe.cpp.o.d"
+  "/root/repo/src/sim/ceff.cpp" "src/sim/CMakeFiles/gnntrans_sim.dir/ceff.cpp.o" "gcc" "src/sim/CMakeFiles/gnntrans_sim.dir/ceff.cpp.o.d"
+  "/root/repo/src/sim/golden.cpp" "src/sim/CMakeFiles/gnntrans_sim.dir/golden.cpp.o" "gcc" "src/sim/CMakeFiles/gnntrans_sim.dir/golden.cpp.o.d"
+  "/root/repo/src/sim/moments.cpp" "src/sim/CMakeFiles/gnntrans_sim.dir/moments.cpp.o" "gcc" "src/sim/CMakeFiles/gnntrans_sim.dir/moments.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/gnntrans_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/gnntrans_sim.dir/transient.cpp.o.d"
+  "/root/repo/src/sim/wire_analysis.cpp" "src/sim/CMakeFiles/gnntrans_sim.dir/wire_analysis.cpp.o" "gcc" "src/sim/CMakeFiles/gnntrans_sim.dir/wire_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/gnntrans_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcnet/CMakeFiles/gnntrans_rcnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

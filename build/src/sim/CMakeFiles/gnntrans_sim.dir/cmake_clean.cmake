@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_sim.dir/awe.cpp.o"
+  "CMakeFiles/gnntrans_sim.dir/awe.cpp.o.d"
+  "CMakeFiles/gnntrans_sim.dir/ceff.cpp.o"
+  "CMakeFiles/gnntrans_sim.dir/ceff.cpp.o.d"
+  "CMakeFiles/gnntrans_sim.dir/golden.cpp.o"
+  "CMakeFiles/gnntrans_sim.dir/golden.cpp.o.d"
+  "CMakeFiles/gnntrans_sim.dir/moments.cpp.o"
+  "CMakeFiles/gnntrans_sim.dir/moments.cpp.o.d"
+  "CMakeFiles/gnntrans_sim.dir/transient.cpp.o"
+  "CMakeFiles/gnntrans_sim.dir/transient.cpp.o.d"
+  "CMakeFiles/gnntrans_sim.dir/wire_analysis.cpp.o"
+  "CMakeFiles/gnntrans_sim.dir/wire_analysis.cpp.o.d"
+  "libgnntrans_sim.a"
+  "libgnntrans_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

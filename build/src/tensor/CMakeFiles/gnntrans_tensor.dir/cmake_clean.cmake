@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_tensor.dir/init.cpp.o"
+  "CMakeFiles/gnntrans_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/gnntrans_tensor.dir/ops.cpp.o"
+  "CMakeFiles/gnntrans_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/gnntrans_tensor.dir/optim.cpp.o"
+  "CMakeFiles/gnntrans_tensor.dir/optim.cpp.o.d"
+  "CMakeFiles/gnntrans_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/gnntrans_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/gnntrans_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/gnntrans_tensor.dir/tensor.cpp.o.d"
+  "libgnntrans_tensor.a"
+  "libgnntrans_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_incremental.dir/test_report_incremental.cpp.o"
+  "CMakeFiles/test_report_incremental.dir/test_report_incremental.cpp.o.d"
+  "test_report_incremental"
+  "test_report_incremental.pdb"
+  "test_report_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_awe.dir/test_sim_awe.cpp.o"
+  "CMakeFiles/test_sim_awe.dir/test_sim_awe.cpp.o.d"
+  "test_sim_awe"
+  "test_sim_awe.pdb"
+  "test_sim_awe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_awe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnntrans_cli.dir/gnntrans_cli.cpp.o"
+  "CMakeFiles/gnntrans_cli.dir/gnntrans_cli.cpp.o.d"
+  "gnntrans_cli"
+  "gnntrans_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnntrans_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
