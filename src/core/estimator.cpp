@@ -1,11 +1,79 @@
 #include "core/estimator.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 #include "tensor/serialize.hpp"
 
 namespace gnntrans::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Nearest-rank percentile of an unsorted latency sample (q in [0, 1]).
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t rank = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(values.size())));
+  return values[rank];
+}
+
+std::string human_bytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024)
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  else
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  return buf;
+}
+
+}  // namespace
+
+void InferenceStats::merge(const InferenceStats& other) {
+  nets += other.nets;
+  paths += other.paths;
+  threads = std::max(threads, other.threads);
+  wall_seconds += other.wall_seconds;
+  nets_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(nets) / wall_seconds : 0.0;
+  p50_net_seconds = std::max(p50_net_seconds, other.p50_net_seconds);
+  p99_net_seconds = std::max(p99_net_seconds, other.p99_net_seconds);
+  arena_peak_bytes = std::max(arena_peak_bytes, other.arena_peak_bytes);
+  arena_reused_buffers += other.arena_reused_buffers;
+  arena_fresh_allocs += other.arena_fresh_allocs;
+}
+
+std::string InferenceStats::summary() const {
+  const std::size_t acquisitions = arena_reused_buffers + arena_fresh_allocs;
+  const double reuse_pct =
+      acquisitions > 0
+          ? 100.0 * static_cast<double>(arena_reused_buffers) /
+                static_cast<double>(acquisitions)
+          : 0.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%zu nets (%zu paths) in %.3f s — %.0f nets/s on %zu "
+                "thread%s; per-net p50 %.1f us, p99 %.1f us; arena peak %s, "
+                "%.1f%% buffer reuse",
+                nets, paths, wall_seconds, nets_per_second, threads,
+                threads == 1 ? "" : "s", p50_net_seconds * 1e6,
+                p99_net_seconds * 1e6, human_bytes(arena_peak_bytes).c_str(),
+                reuse_pct);
+  return buf;
+}
 
 WireTimingEstimator WireTimingEstimator::train(
     const std::vector<features::WireRecord>& records, Options options) {
@@ -25,8 +93,9 @@ WireTimingEstimator WireTimingEstimator::train(
   return est;
 }
 
-std::vector<PathEstimate> WireTimingEstimator::estimate(
-    const rcnet::RcNet& net, const features::NetContext& context) const {
+std::vector<PathEstimate> WireTimingEstimator::estimate_one(
+    const rcnet::RcNet& net, const features::NetContext& context,
+    nn::Workspace* workspace) const {
   tensor::NoGradGuard no_grad;
 
   // Build an unlabeled record: features only, labels zero.
@@ -39,7 +108,7 @@ std::vector<PathEstimate> WireTimingEstimator::estimate(
   rec.delay_labels.assign(rec.raw.analysis.paths.size(), 0.0);
 
   const nn::GraphSample sample = standardizer_.make_sample(rec);
-  const nn::WirePrediction pred = model_->forward(sample);
+  const nn::WirePrediction pred = model_->forward(sample, workspace);
 
   std::vector<PathEstimate> out;
   out.reserve(sample.path_count);
@@ -51,6 +120,73 @@ std::vector<PathEstimate> WireTimingEstimator::estimate(
     out.push_back(pe);
   }
   return out;
+}
+
+std::vector<PathEstimate> WireTimingEstimator::estimate(
+    const rcnet::RcNet& net, const features::NetContext& context) const {
+  return estimate_one(net, context, nullptr);
+}
+
+std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
+    std::span<const NetBatchItem> items, const BatchOptions& options,
+    InferenceStats* stats) const {
+  const auto start = Clock::now();
+  std::vector<std::vector<PathEstimate>> results(items.size());
+  std::vector<double> latency(items.size(), 0.0);
+
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  std::size_t threads = std::max<std::size_t>(1, options.threads);
+  if (pool) {
+    threads = pool->size();
+  } else if (threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(threads);
+    pool = owned_pool.get();
+  }
+
+  std::vector<nn::Workspace> local_workspaces;
+  std::vector<nn::Workspace>& workspaces =
+      options.workspaces ? *options.workspaces : local_workspaces;
+  if (workspaces.size() < threads) workspaces.resize(threads);
+
+  // Snapshot arena counters so stats report this call's deltas even when the
+  // caller reuses workspaces across batches.
+  std::vector<tensor::ScratchArena::Stats> before(threads);
+  for (std::size_t w = 0; w < threads; ++w) before[w] = workspaces[w].arena_stats();
+
+  const auto run_one = [&](std::size_t i, std::size_t worker) {
+    const auto t0 = Clock::now();
+    results[i] =
+        estimate_one(*items[i].net, *items[i].context, &workspaces[worker]);
+    latency[i] = seconds_since(t0);
+  };
+  if (threads == 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) run_one(i, 0);
+  } else {
+    pool->parallel_for(items.size(), run_one);
+  }
+
+  if (stats) {
+    *stats = InferenceStats{};
+    stats->nets = items.size();
+    for (const auto& r : results) stats->paths += r.size();
+    stats->threads = threads;
+    stats->wall_seconds = seconds_since(start);
+    stats->nets_per_second =
+        stats->wall_seconds > 0.0
+            ? static_cast<double>(stats->nets) / stats->wall_seconds
+            : 0.0;
+    stats->p50_net_seconds = percentile(latency, 0.50);
+    stats->p99_net_seconds = percentile(latency, 0.99);
+    for (std::size_t w = 0; w < threads; ++w) {
+      const tensor::ScratchArena::Stats after = workspaces[w].arena_stats();
+      stats->arena_peak_bytes =
+          std::max(stats->arena_peak_bytes, after.peak_bytes);
+      stats->arena_reused_buffers += after.reused - before[w].reused;
+      stats->arena_fresh_allocs += after.allocated - before[w].allocated;
+    }
+  }
+  return results;
 }
 
 Evaluation WireTimingEstimator::evaluate(
@@ -91,15 +227,25 @@ WireTimingEstimator WireTimingEstimator::load_file(const std::string& path) {
 
 EstimatorWireSource::EstimatorWireSource(const WireTimingEstimator& estimator,
                                          const netlist::Design& design,
-                                         const cell::CellLibrary& library)
+                                         const cell::CellLibrary& library,
+                                         std::size_t threads)
     : estimator_(estimator), design_(design), library_(library) {
   net_by_name_.reserve(design.nets.size());
   for (std::size_t i = 0; i < design.nets.size(); ++i)
     net_by_name_.emplace(design.nets[i].rc.name, i);
+  set_threads(threads);
 }
 
-std::vector<sim::SinkTiming> EstimatorWireSource::time_net(
-    const rcnet::RcNet& net, double input_slew, double driver_resistance) {
+void EstimatorWireSource::set_threads(std::size_t threads) {
+  threads = std::max<std::size_t>(1, threads);
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_.reset();  // recreated lazily at the next batched call
+}
+
+features::NetContext EstimatorWireSource::context_for(
+    const rcnet::RcNet& net, double input_slew,
+    double driver_resistance) const {
   features::NetContext ctx;
   ctx.input_slew = input_slew;
   ctx.driver_resistance = driver_resistance;
@@ -113,15 +259,21 @@ std::vector<sim::SinkTiming> EstimatorWireSource::time_net(
     ctx.driver_function = static_cast<std::uint32_t>(driver.function);
     for (netlist::InstanceId load : dnet.loads) {
       const cell::Cell& lc = library_.at(design_.instances[load].cell_index);
-      ctx.loads.push_back(
-          {lc.drive_strength, static_cast<std::uint32_t>(lc.function), lc.input_cap});
+      ctx.loads.push_back({lc.drive_strength,
+                           static_cast<std::uint32_t>(lc.function),
+                           lc.input_cap});
     }
   } else {
     // Unknown net (standalone use): neutral load context.
     ctx.loads.assign(net.sinks.size(), features::SinkLoad{});
   }
+  return ctx;
+}
 
-  const std::vector<PathEstimate> estimates = estimator_.estimate(net, ctx);
+namespace {
+
+std::vector<sim::SinkTiming> to_sink_timings(
+    const std::vector<PathEstimate>& estimates) {
   std::vector<sim::SinkTiming> out;
   out.reserve(estimates.size());
   for (const PathEstimate& pe : estimates) {
@@ -132,6 +284,45 @@ std::vector<sim::SinkTiming> EstimatorWireSource::time_net(
     st.settled = true;
     out.push_back(st);
   }
+  return out;
+}
+
+}  // namespace
+
+std::vector<sim::SinkTiming> EstimatorWireSource::time_net(
+    const rcnet::RcNet& net, double input_slew, double driver_resistance) {
+  const features::NetContext ctx =
+      context_for(net, input_slew, driver_resistance);
+  return to_sink_timings(estimator_.estimate(net, ctx));
+}
+
+std::vector<std::vector<sim::SinkTiming>> EstimatorWireSource::time_nets(
+    std::span<const netlist::WireTimingRequest> requests) {
+  std::vector<features::NetContext> contexts;
+  contexts.reserve(requests.size());
+  std::vector<NetBatchItem> items;
+  items.reserve(requests.size());
+  for (const netlist::WireTimingRequest& r : requests) {
+    contexts.push_back(
+        context_for(*r.net, r.input_slew, r.driver_resistance));
+    items.push_back({r.net, &contexts.back()});
+  }
+
+  if (threads_ > 1 && !pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+  BatchOptions options;
+  options.threads = threads_;
+  options.pool = pool_.get();
+  options.workspaces = &workspaces_;
+
+  InferenceStats batch_stats;
+  const std::vector<std::vector<PathEstimate>> estimates =
+      estimator_.estimate_batch(items, options, &batch_stats);
+  stats_.merge(batch_stats);
+
+  std::vector<std::vector<sim::SinkTiming>> out;
+  out.reserve(estimates.size());
+  for (const std::vector<PathEstimate>& e : estimates)
+    out.push_back(to_sink_timings(e));
   return out;
 }
 

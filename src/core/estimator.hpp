@@ -8,16 +8,26 @@
 ///   auto timing = estimator.estimate(net, context);       // per-path ps
 ///   estimator.save("model.bin");  // later: WireTimingEstimator::load(...)
 ///
+/// Serving: estimate_batch() times many nets per call on a reusable
+/// ThreadPool, with one scratch-arena Workspace per worker so the forward
+/// pass recycles activation buffers instead of reallocating per net. Results
+/// are bitwise-identical for any thread count. InferenceStats reports
+/// throughput, per-net latency percentiles, and arena high-water marks.
+///
 /// EstimatorWireSource adapts a trained estimator to the STA engine, enabling
-/// the paper's Table V flow (gate NLDM + learned wire timing).
+/// the paper's Table V flow (gate NLDM + learned wire timing); it implements
+/// the batched WireTimingSource::time_nets hook, so full-design STA amortizes
+/// inference across every net of a topological level.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "features/dataset.hpp"
 #include "netlist/sta.hpp"
@@ -30,6 +40,46 @@ struct PathEstimate {
   rcnet::NodeId sink = 0;
   double slew = 0.0;
   double delay = 0.0;
+};
+
+/// Observability counters for batched inference. Percentiles are computed
+/// over per-net wall latencies of one estimate_batch call; merge() combines
+/// calls (sums counts/time, keeps the worse percentile as a conservative
+/// bound since exact percentiles do not compose).
+struct InferenceStats {
+  std::size_t nets = 0;
+  std::size_t paths = 0;
+  std::size_t threads = 1;
+  double wall_seconds = 0.0;
+  double nets_per_second = 0.0;
+  double p50_net_seconds = 0.0;
+  double p99_net_seconds = 0.0;
+  std::size_t arena_peak_bytes = 0;      ///< max per-worker high-water mark
+  std::size_t arena_reused_buffers = 0;  ///< acquisitions served by the arenas
+  std::size_t arena_fresh_allocs = 0;    ///< acquisitions that hit the heap
+
+  void merge(const InferenceStats& other);
+  [[nodiscard]] std::string summary() const;
+};
+
+/// One net of a batch, with the context it is timed under. Pointees must
+/// outlive the estimate_batch call.
+struct NetBatchItem {
+  const rcnet::RcNet* net = nullptr;
+  const features::NetContext* context = nullptr;
+};
+
+/// Serving knobs for estimate_batch.
+struct BatchOptions {
+  /// Worker count; 1 runs inline on the caller. Ignored when \p pool is set
+  /// (the pool's size wins).
+  std::size_t threads = 1;
+  /// Optional externally owned pool, reused across calls to avoid re-spawning
+  /// threads per batch.
+  ThreadPool* pool = nullptr;
+  /// Optional per-worker scratch workspaces, reused across calls so arenas
+  /// stay warm between batches (grown to the worker count as needed).
+  std::vector<nn::Workspace>* workspaces = nullptr;
 };
 
 /// A trained model + its standardizer, bundled for deployment.
@@ -49,6 +99,14 @@ class WireTimingEstimator {
   /// Per-path wire timing for one net (inference only, no golden timer).
   [[nodiscard]] std::vector<PathEstimate> estimate(
       const rcnet::RcNet& net, const features::NetContext& context) const;
+
+  /// Per-path wire timing for a batch of nets; result[i] answers items[i].
+  /// Nets are independent, so outputs are bitwise-identical for every thread
+  /// count (each net's forward pass is a fixed arithmetic sequence). \p stats,
+  /// when non-null, is overwritten with this call's counters.
+  [[nodiscard]] std::vector<std::vector<PathEstimate>> estimate_batch(
+      std::span<const NetBatchItem> items, const BatchOptions& options = {},
+      InferenceStats* stats = nullptr) const;
 
   /// Scores the estimator on labeled records (seconds-space R^2 / max error).
   [[nodiscard]] Evaluation evaluate(
@@ -70,32 +128,60 @@ class WireTimingEstimator {
  private:
   WireTimingEstimator() = default;
 
+  /// Shared single-net path: feature extraction + forward + unstandardize.
+  [[nodiscard]] std::vector<PathEstimate> estimate_one(
+      const rcnet::RcNet& net, const features::NetContext& context,
+      nn::Workspace* workspace) const;
+
   std::unique_ptr<nn::WireModel> model_;
   features::Standardizer standardizer_;
   TrainReport train_report_;
 };
 
 /// Adapts a trained estimator (+ the cell library for load contexts) to the
-/// STA engine's WireTimingSource interface.
+/// STA engine's WireTimingSource interface. With threads > 1 the batched
+/// time_nets entry point fans a level's nets out over a lazily created
+/// ThreadPool; per-worker workspaces persist across batches, so arenas stay
+/// warm for the whole STA run. stats() accumulates over all batches served.
 class EstimatorWireSource final : public netlist::WireTimingSource {
  public:
   EstimatorWireSource(const WireTimingEstimator& estimator,
                       const netlist::Design& design,
-                      const cell::CellLibrary& library);
+                      const cell::CellLibrary& library,
+                      std::size_t threads = 1);
+
+  /// Worker count used by time_nets; takes effect from the next batch.
+  void set_threads(std::size_t threads);
 
   [[nodiscard]] std::vector<sim::SinkTiming> time_net(
       const rcnet::RcNet& net, double input_slew,
       double driver_resistance) override;
+
+  [[nodiscard]] std::vector<std::vector<sim::SinkTiming>> time_nets(
+      std::span<const netlist::WireTimingRequest> requests) override;
+
+  /// Cumulative serving counters across every batch this source handled.
+  [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
 
   [[nodiscard]] std::string name() const override {
     return "Estimator(" + estimator_.model().name() + ")";
   }
 
  private:
+  /// Derives the feature context (driver cell, load cells) of \p net.
+  [[nodiscard]] features::NetContext context_for(const rcnet::RcNet& net,
+                                                 double input_slew,
+                                                 double driver_resistance) const;
+
   const WireTimingEstimator& estimator_;
   const netlist::Design& design_;
   const cell::CellLibrary& library_;
   std::unordered_map<std::string, std::size_t> net_by_name_;
+
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;        ///< created on first batched call
+  std::vector<nn::Workspace> workspaces_;   ///< per-worker, reused per batch
+  InferenceStats stats_;
 };
 
 }  // namespace gnntrans::core

@@ -5,8 +5,8 @@
 #include <numeric>
 #include <random>
 #include <sstream>
-#include <thread>
 
+#include "core/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/optim.hpp"
 
@@ -57,6 +57,10 @@ TrainReport train_model_parallel(nn::WireModel& model,
   std::vector<std::size_t> order(samples.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
 
+  // One persistent pool for the whole run; workers are parked between
+  // mini-batches instead of being respawned per batch.
+  ThreadPool pool(workers);
+
   float lr = config.base.learning_rate;
   for (std::size_t epoch = 0; epoch < config.base.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
@@ -65,26 +69,22 @@ TrainReport train_model_parallel(nn::WireModel& model,
     for (std::size_t batch = 0; batch < order.size(); batch += workers) {
       const std::size_t batch_size = std::min(workers, order.size() - batch);
 
-      // Fan out: each worker computes gradients over one sample.
+      // Fan out: each shard computes gradients over one sample. Shard w uses
+      // replica w exclusively, whichever pool thread picks it up.
       std::vector<double> worker_loss(batch_size, 0.0);
-      std::vector<std::thread> threads;
-      threads.reserve(batch_size);
-      for (std::size_t w = 0; w < batch_size; ++w) {
-        threads.emplace_back([&, w] {
-          nn::WireModel& replica = *replicas[w];
-          for (tensor::Tensor& p : replica_params[w]) p.zero_grad();
-          const nn::GraphSample& sample = samples[order[batch + w]];
-          const nn::WirePrediction pred = replica.forward(sample);
-          tensor::Tensor loss = tensor::add(
-              tensor::scale(tensor::mse_loss(pred.slew, sample.slew_label),
-                            config.base.slew_loss_weight),
-              tensor::scale(tensor::mse_loss(pred.delay, sample.delay_label),
-                            config.base.delay_loss_weight));
-          loss.backward();
-          worker_loss[w] = loss.item();
-        });
-      }
-      for (std::thread& t : threads) t.join();
+      pool.parallel_for(batch_size, [&](std::size_t w, std::size_t) {
+        nn::WireModel& replica = *replicas[w];
+        for (tensor::Tensor& p : replica_params[w]) p.zero_grad();
+        const nn::GraphSample& sample = samples[order[batch + w]];
+        const nn::WirePrediction pred = replica.forward(sample);
+        tensor::Tensor loss = tensor::add(
+            tensor::scale(tensor::mse_loss(pred.slew, sample.slew_label),
+                          config.base.slew_loss_weight),
+            tensor::scale(tensor::mse_loss(pred.delay, sample.delay_label),
+                          config.base.delay_loss_weight));
+        loss.backward();
+        worker_loss[w] = loss.item();
+      });
 
       // Reduce: sum shard gradients into the master (mean over the batch so
       // the effective step is comparable to the sequential trainer's).

@@ -82,51 +82,82 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
   const auto gate_start = Clock::now();
   double wire_total = 0.0;
 
-  for (InstanceId v : order) {
-    const cell::Cell& c = library.at(design.instances[v].cell_index);
-    const std::uint32_t net_idx = design.driven_net[v];
+  // Process one topological level at a time. Every fanin of a level-L
+  // instance sits at a level < L (levels are longest-path depths), so all
+  // wire requests of a level are independent and can be served as one batch —
+  // this is where batched sources (estimator threading + arena reuse)
+  // amortize across nets. Results are identical to the per-net loop.
+  std::size_t block_start = 0;
+  std::vector<WireTimingRequest> requests;
+  std::vector<InstanceId> request_owner;  ///< driver instance per request
+  while (block_start < order.size()) {
+    const std::uint32_t level = design.instances[order[block_start]].level;
+    std::size_t block_end = block_start;
+    while (block_end < order.size() &&
+           design.instances[order[block_end]].level == level)
+      ++block_end;
 
-    if (net_idx == Design::kNoNet) {
-      // Endpoint: arrival at the D pin is what Table V compares.
-      result.arrival[v] = std::max(0.0, in_arrival[v]);
-      result.slew[v] = in_slew[v];
-      continue;
+    // Pass 1: gate timing for every instance of the level; collect the wire
+    // timing requests its driven nets generate.
+    requests.clear();
+    request_owner.clear();
+    for (std::size_t k = block_start; k < block_end; ++k) {
+      const InstanceId v = order[k];
+      const cell::Cell& c = library.at(design.instances[v].cell_index);
+      const std::uint32_t net_idx = design.driven_net[v];
+
+      if (net_idx == Design::kNoNet) {
+        // Endpoint: arrival at the D pin is what Table V compares.
+        result.arrival[v] = std::max(0.0, in_arrival[v]);
+        result.slew[v] = in_slew[v];
+        continue;
+      }
+      const DesignNet& net = design.nets[net_idx];
+      const double pin_slew_for_ceff =
+          is_startpoint[v] ? config.launch_slew : in_slew[v];
+      const double load_cap =
+          nldm_load_cap(design, library, net, c, pin_slew_for_ceff, config);
+
+      if (is_startpoint[v]) {
+        // Launch FF: clock-to-q through the NLDM arc under the clock slew.
+        result.gate_delay[v] = c.arc.delay.lookup(config.launch_slew, load_cap);
+        result.arrival[v] = result.gate_delay[v];
+        result.slew[v] = c.arc.output_slew.lookup(config.launch_slew, load_cap);
+      } else {
+        const double pin_arrival = std::max(0.0, in_arrival[v]);
+        const double pin_slew = in_slew[v];
+        result.gate_delay[v] = c.arc.delay.lookup(pin_slew, load_cap);
+        result.arrival[v] = pin_arrival + result.gate_delay[v];
+        result.slew[v] = c.arc.output_slew.lookup(pin_slew, load_cap);
+      }
+      requests.push_back({&net.rc, result.slew[v], c.drive_resistance});
+      request_owner.push_back(v);
     }
-    const DesignNet& net = design.nets[net_idx];
-    const double pin_slew_for_ceff =
-        is_startpoint[v] ? config.launch_slew : in_slew[v];
-    const double load_cap =
-        nldm_load_cap(design, library, net, c, pin_slew_for_ceff, config);
 
-    if (is_startpoint[v]) {
-      // Launch FF: clock-to-q through the NLDM arc under the clock slew.
-      result.gate_delay[v] = c.arc.delay.lookup(config.launch_slew, load_cap);
-      result.arrival[v] = result.gate_delay[v];
-      result.slew[v] = c.arc.output_slew.lookup(config.launch_slew, load_cap);
-    } else {
-      const double pin_arrival = std::max(0.0, in_arrival[v]);
-      const double pin_slew = in_slew[v];
-      result.gate_delay[v] = c.arc.delay.lookup(pin_slew, load_cap);
-      result.arrival[v] = pin_arrival + result.gate_delay[v];
-      result.slew[v] = c.arc.output_slew.lookup(pin_slew, load_cap);
-    }
-
-    // Wire propagation to every load pin.
+    // Pass 2: wire propagation for the whole level in one batch.
     const auto wire_start = Clock::now();
-    const std::vector<sim::SinkTiming> sinks =
-        wire_source.time_net(net.rc, result.slew[v], c.drive_resistance);
+    const std::vector<std::vector<sim::SinkTiming>> sink_batches =
+        wire_source.time_nets(requests);
     wire_total += seconds_since(wire_start);
 
-    for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
-      const InstanceId load = net.loads[s];
-      const double arr = result.arrival[v] + sinks[s].delay;
-      if (arr > in_arrival[load]) {
-        in_arrival[load] = arr;
-        in_slew[load] = sinks[s].slew;
-        result.critical_net[load] = net_idx;
-        result.critical_wire_delay[load] = sinks[s].delay;
+    // Pass 3: scatter sink timings to the load pins (all at higher levels).
+    for (std::size_t r = 0; r < sink_batches.size(); ++r) {
+      const InstanceId v = request_owner[r];
+      const std::uint32_t net_idx = design.driven_net[v];
+      const DesignNet& net = design.nets[net_idx];
+      const std::vector<sim::SinkTiming>& sinks = sink_batches[r];
+      for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
+        const InstanceId load = net.loads[s];
+        const double arr = result.arrival[v] + sinks[s].delay;
+        if (arr > in_arrival[load]) {
+          in_arrival[load] = arr;
+          in_slew[load] = sinks[s].slew;
+          result.critical_net[load] = net_idx;
+          result.critical_wire_delay[load] = sinks[s].delay;
+        }
       }
     }
+    block_start = block_end;
   }
 
   result.wire_seconds = wire_total;

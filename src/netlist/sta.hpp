@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,14 @@
 
 namespace gnntrans::netlist {
 
+/// One net timing request: the batch form of time_net's argument list. The
+/// pointed-to net must outlive the time_nets call.
+struct WireTimingRequest {
+  const rcnet::RcNet* net = nullptr;
+  double input_slew = 0.0;
+  double driver_resistance = 0.0;
+};
+
 /// Strategy interface: who computes per-sink wire delay/slew.
 class WireTimingSource {
  public:
@@ -26,6 +35,19 @@ class WireTimingSource {
   /// Returns one SinkTiming per net sink (order matches net.sinks).
   [[nodiscard]] virtual std::vector<sim::SinkTiming> time_net(
       const rcnet::RcNet& net, double input_slew, double driver_resistance) = 0;
+
+  /// Times a batch of independent nets; result[i] answers requests[i]. The
+  /// STA engine hands over one batch per topological level, so batched
+  /// sources (threading, scratch-arena reuse) amortize across nets. The
+  /// default implementation loops time_net — identical results, no batching.
+  [[nodiscard]] virtual std::vector<std::vector<sim::SinkTiming>> time_nets(
+      std::span<const WireTimingRequest> requests) {
+    std::vector<std::vector<sim::SinkTiming>> out;
+    out.reserve(requests.size());
+    for (const WireTimingRequest& r : requests)
+      out.push_back(time_net(*r.net, r.input_slew, r.driver_resistance));
+    return out;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

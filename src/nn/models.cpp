@@ -25,6 +25,13 @@ std::size_t WireModel::parameter_count() const {
   return total;
 }
 
+WirePrediction WireModel::forward(const GraphSample& sample,
+                                  Workspace* workspace) const {
+  if (!workspace) return run_forward(sample);
+  tensor::ScratchArena::Scope scope(workspace->arena);
+  return run_forward(sample);
+}
+
 namespace {
 
 /// Shared slew/delay MLP heads (paper Eq. 5-6).
@@ -86,7 +93,7 @@ class GnnTransModel final : public WireModel {
                              config.cascade_delay_head, rng);
   }
 
-  [[nodiscard]] WirePrediction forward(const GraphSample& sample) const override {
+  [[nodiscard]] WirePrediction run_forward(const GraphSample& sample) const override {
     const tensor::GraphMatrix& agg =
         config_.use_edge_weights ? sample.weighted_adj : sample.mean_adj;
     Tensor x = sample.x;
@@ -140,7 +147,7 @@ class GraphSageModel final : public WireModel {
                              config.cascade_delay_head, rng);
   }
 
-  [[nodiscard]] WirePrediction forward(const GraphSample& sample) const override {
+  [[nodiscard]] WirePrediction run_forward(const GraphSample& sample) const override {
     Tensor x = sample.x;
     for (const SageConv& layer : layers_) x = layer.forward(x, sample.mean_adj);
     return heads_.predict(tensor::spmm(sample.path_pool, x));
@@ -185,7 +192,7 @@ class GcniiModel final : public WireModel {
                              config.cascade_delay_head, rng);
   }
 
-  [[nodiscard]] WirePrediction forward(const GraphSample& sample) const override {
+  [[nodiscard]] WirePrediction run_forward(const GraphSample& sample) const override {
     const Tensor x0 = tensor::relu(input_.forward(sample.x));
     Tensor x = x0;
     for (const GcniiLayer& layer : layers_)
@@ -233,7 +240,7 @@ class GatModel final : public WireModel {
                              config.cascade_delay_head, rng);
   }
 
-  [[nodiscard]] WirePrediction forward(const GraphSample& sample) const override {
+  [[nodiscard]] WirePrediction run_forward(const GraphSample& sample) const override {
     Tensor x = sample.x;
     for (const GatLayer& layer : layers_) x = layer.forward(x, sample.attn_mask);
     return heads_.predict(tensor::spmm(sample.path_pool, x));
@@ -278,7 +285,7 @@ class GraphTransformerModel final : public WireModel {
                              config.cascade_delay_head, rng);
   }
 
-  [[nodiscard]] WirePrediction forward(const GraphSample& sample) const override {
+  [[nodiscard]] WirePrediction run_forward(const GraphSample& sample) const override {
     Tensor x = tensor::relu(input_.forward(sample.x));
     for (std::size_t l = 0; l < attention_.size(); ++l) {
       x = attention_[l].forward(x, sample.attn_mask);

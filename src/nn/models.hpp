@@ -16,6 +16,7 @@
 
 #include "nn/graph_sample.hpp"
 #include "nn/layers.hpp"
+#include "nn/workspace.hpp"
 
 namespace gnntrans::nn {
 
@@ -56,8 +57,13 @@ class WireModel {
  public:
   virtual ~WireModel() = default;
 
-  /// Predicts standardized slew/delay for every path of \p sample.
-  [[nodiscard]] virtual WirePrediction forward(const GraphSample& sample) const = 0;
+  /// Predicts standardized slew/delay for every path of \p sample. When
+  /// \p workspace is non-null, intermediate activations are drawn from its
+  /// scratch arena and recycled across calls instead of hitting the heap —
+  /// numerics are identical either way. The workspace must not be shared by
+  /// concurrent callers; use one per thread.
+  [[nodiscard]] WirePrediction forward(const GraphSample& sample,
+                                       Workspace* workspace = nullptr) const;
 
   /// All trainable parameters (stable order).
   [[nodiscard]] virtual std::vector<tensor::Tensor> parameters() const = 0;
@@ -75,6 +81,12 @@ class WireModel {
 
  protected:
   explicit WireModel(ModelConfig config) : config_(config) {}
+
+  /// Architecture-specific forward pass; the allocation policy (scratch arena
+  /// vs heap) is handled by the public forward() wrapper.
+  [[nodiscard]] virtual WirePrediction run_forward(
+      const GraphSample& sample) const = 0;
+
   ModelConfig config_;
 };
 

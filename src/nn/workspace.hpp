@@ -1,0 +1,24 @@
+/// \file workspace.hpp
+/// Reusable inference scratch for WireModel forward passes.
+///
+/// A Workspace owns the scratch arena that recycles activation buffers across
+/// nets: pass one to WireModel::forward (or hold one per serving thread — see
+/// core::WireTimingEstimator::estimate_batch) and the forward pass stops
+/// paying a heap allocation per intermediate tensor. A Workspace must not be
+/// used by two threads at the same time; create one per worker instead.
+#pragma once
+
+#include "tensor/arena.hpp"
+
+namespace gnntrans::nn {
+
+struct Workspace {
+  tensor::ScratchArena arena;
+
+  /// Buffer-reuse / memory counters for this workspace's arena.
+  [[nodiscard]] tensor::ScratchArena::Stats arena_stats() const {
+    return arena.stats();
+  }
+};
+
+}  // namespace gnntrans::nn

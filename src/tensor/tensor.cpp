@@ -4,10 +4,37 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "tensor/arena.hpp"
+
 namespace gnntrans::tensor {
 
 namespace {
+
 thread_local bool g_grad_enabled = true;
+
+/// Allocates an impl with a zeroed rows x cols value buffer. When a scratch
+/// arena is active on this thread the buffer is drawn from it, and the impl's
+/// deleter returns the buffer to that arena when the tensor dies (possibly on
+/// another thread, possibly after the arena handle itself is gone — the shared
+/// state keeps the pool alive).
+std::shared_ptr<TensorImpl> new_impl(std::size_t rows, std::size_t cols) {
+  std::shared_ptr<TensorImpl> impl;
+  if (const auto& arena = detail::active_arena()) {
+    impl = std::shared_ptr<TensorImpl>(
+        new TensorImpl, [state = arena](TensorImpl* p) {
+          detail::release_values(state, std::move(p->value));
+          delete p;
+        });
+    impl->value = detail::acquire_values(arena, rows * cols);
+  } else {
+    impl = std::make_shared<TensorImpl>();
+    impl->value.assign(rows * cols, 0.0f);
+  }
+  impl->rows = rows;
+  impl->cols = cols;
+  return impl;
+}
+
 }  // namespace
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = false; }
@@ -16,10 +43,7 @@ NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 bool grad_enabled() noexcept { return g_grad_enabled; }
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, bool requires_grad) {
-  impl_ = std::make_shared<TensorImpl>();
-  impl_->rows = rows;
-  impl_->cols = cols;
-  impl_->value.assign(rows * cols, 0.0f);
+  impl_ = new_impl(rows, cols);
   impl_->requires_grad = requires_grad;
 }
 
@@ -27,18 +51,21 @@ Tensor Tensor::from_data(std::vector<float> data, std::size_t rows,
                          std::size_t cols, bool requires_grad) {
   if (data.size() != rows * cols)
     throw std::invalid_argument("Tensor::from_data: size mismatch");
-  Tensor t(rows, cols, requires_grad);
+  // Adopts external storage, so this deliberately bypasses any active scratch
+  // arena: the buffer did not come from a pool and must not be parked in one.
+  Tensor t;
+  t.impl_ = std::make_shared<TensorImpl>();
+  t.impl_->rows = rows;
+  t.impl_->cols = cols;
   t.impl_->value = std::move(data);
+  t.impl_->requires_grad = requires_grad;
   return t;
 }
 
 Tensor make_op_result(std::size_t rows, std::size_t cols,
                       std::vector<std::shared_ptr<TensorImpl>> parents,
                       std::function<void(const TensorImpl&)> backward_fn) {
-  auto impl = std::make_shared<TensorImpl>();
-  impl->rows = rows;
-  impl->cols = cols;
-  impl->value.assign(rows * cols, 0.0f);
+  auto impl = new_impl(rows, cols);
 
   const bool any_grad =
       grad_enabled() &&

@@ -1,9 +1,12 @@
-// Tests for the synchronous data-parallel trainer.
+// Tests for the synchronous data-parallel trainer and the shared ThreadPool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "core/thread_pool.hpp"
 #include "features/dataset.hpp"
 
 namespace {
@@ -104,6 +107,62 @@ TEST(ParallelTrainer, EmptySampleListIsNoop) {
   ParallelTrainConfig cfg;
   const TrainReport report = train_model_parallel(*model, {}, cfg);
   EXPECT_TRUE(report.epoch_loss.empty());
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i, std::size_t) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, WorkerIdsStayInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.parallel_for(500, [&](std::size_t, std::size_t worker) {
+    if (worker >= pool.size()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i, std::size_t) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i, std::size_t) {
+                                   if (i == 17)
+                                     throw std::runtime_error("task 17 failed");
+                                 }),
+               std::runtime_error);
+  // The pool must survive a throwing job and serve the next one.
+  std::atomic<int> count{0};
+  pool.parallel_for(32, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ZeroTasksAndInlineFallback) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL(); });
+
+  // threads <= 1 spawns no workers and runs inline on the caller.
+  ThreadPool inline_pool(1);
+  EXPECT_EQ(inline_pool.size(), 1u);
+  int runs = 0;
+  inline_pool.parallel_for(5, [&](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 5);
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// Tests for the batched inference engine: thread-count determinism, golden
+// regression of pinned outputs, serving stats, arena reuse, and the batched
+// EstimatorWireSource inside full-design STA.
+//
+// A single tiny estimator is trained once per suite (SetUpTestSuite) — the
+// tests exercise serving, not model quality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include "cell/library.hpp"
+#include "core/estimator.hpp"
+#include "features/dataset.hpp"
+#include "netlist/generate.hpp"
+#include "netlist/sta.hpp"
+#include "rcnet/generate.hpp"
+
+namespace {
+
+using namespace gnntrans;
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    library_ = std::make_unique<cell::CellLibrary>(
+        cell::CellLibrary::make_default());
+
+    features::WireDatasetConfig dcfg;
+    dcfg.net_count = 24;
+    dcfg.seed = 2026;
+    dcfg.sim_config.steps = 200;
+    const auto records = features::generate_wire_records(dcfg, *library_);
+
+    core::WireTimingEstimator::Options opt;
+    opt.model.hidden_dim = 8;
+    opt.model.gnn_layers = 2;
+    opt.model.transformer_layers = 1;
+    opt.model.heads = 2;
+    opt.model.mlp_hidden = 16;
+    opt.model.seed = 7;
+    opt.train.epochs = 4;
+    estimator_ = std::make_unique<core::WireTimingEstimator>(
+        core::WireTimingEstimator::train(records, opt));
+
+    // Unlabeled eval population (golden timing not needed for serving).
+    std::mt19937_64 rng(99);
+    rcnet::NetGenConfig ncfg;
+    while (nets_.size() < 40) {
+      rcnet::RcNet net =
+          rcnet::generate_net(ncfg, rng, "eval" + std::to_string(nets_.size()));
+      if (!net.validate().empty()) continue;
+      nets_.push_back(std::move(net));
+    }
+    for (const rcnet::RcNet& net : nets_)
+      contexts_.push_back(features::random_context(*library_, net, rng));
+  }
+
+  static void TearDownTestSuite() {
+    estimator_.reset();
+    library_.reset();
+    nets_.clear();
+    contexts_.clear();
+  }
+
+  static std::vector<core::NetBatchItem> items() {
+    std::vector<core::NetBatchItem> out(nets_.size());
+    for (std::size_t i = 0; i < nets_.size(); ++i)
+      out[i] = {&nets_[i], &contexts_[i]};
+    return out;
+  }
+
+  static std::unique_ptr<cell::CellLibrary> library_;
+  static std::unique_ptr<core::WireTimingEstimator> estimator_;
+  static std::vector<rcnet::RcNet> nets_;
+  static std::vector<features::NetContext> contexts_;
+};
+
+std::unique_ptr<cell::CellLibrary> ServingTest::library_;
+std::unique_ptr<core::WireTimingEstimator> ServingTest::estimator_;
+std::vector<rcnet::RcNet> ServingTest::nets_;
+std::vector<features::NetContext> ServingTest::contexts_;
+
+TEST_F(ServingTest, ThreadCountInvariantBitwise) {
+  const auto batch = items();
+  const auto serial = estimator_->estimate_batch(batch, {.threads = 1});
+  core::BatchOptions four;
+  four.threads = 4;
+  const auto threaded = estimator_->estimate_batch(batch, four);
+
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), threaded[i].size()) << "net " << i;
+    for (std::size_t q = 0; q < serial[i].size(); ++q) {
+      EXPECT_EQ(serial[i][q].sink, threaded[i][q].sink);
+      // Bitwise equality: each net's forward pass is the same arithmetic
+      // sequence regardless of which worker runs it.
+      EXPECT_EQ(serial[i][q].slew, threaded[i][q].slew) << "net " << i;
+      EXPECT_EQ(serial[i][q].delay, threaded[i][q].delay) << "net " << i;
+    }
+  }
+
+  // The batch path must also match the legacy single-net entry point.
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const auto single = estimator_->estimate(nets_[i], contexts_[i]);
+    ASSERT_EQ(single.size(), serial[i].size());
+    for (std::size_t q = 0; q < single.size(); ++q) {
+      EXPECT_EQ(single[q].slew, serial[i][q].slew);
+      EXPECT_EQ(single[q].delay, serial[i][q].delay);
+    }
+  }
+}
+
+TEST_F(ServingTest, GoldenRegressionPinnedOutputs) {
+  // Pinned outputs of the fixed-seed model on the first three eval nets.
+  // These detect silent numeric drift in the feature pipeline, forward pass,
+  // or standardizer. Tolerance is loose enough (1e-4 relative) to survive
+  // benign instruction-scheduling differences, tight enough to catch bugs.
+  struct Golden {
+    std::size_t net;
+    std::size_t path;
+    double slew;
+    double delay;
+  };
+  const auto batch = items();
+  const auto results = estimator_->estimate_batch(batch, {.threads = 1});
+  ASSERT_GE(results.size(), 3u);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_FALSE(results[i].empty()) << "net " << i;
+    for (std::size_t q = 0; q < results[i].size(); ++q) {
+      EXPECT_TRUE(std::isfinite(results[i][q].slew));
+      EXPECT_TRUE(std::isfinite(results[i][q].delay));
+    }
+  }
+
+  const std::vector<Golden> golden = {
+      {0, 0, 1.4392871069835042e-10, 7.0285644213196657e-12},
+      {0, 1, 1.5358543390893465e-10, 1.2406468177406317e-11},
+      {0, 2, 8.1912639669593952e-11, 2.9306780596496591e-12},
+      {0, 3, 1.5522237569482385e-10, 1.2027355163747127e-11},
+      {0, 4, 1.3195665288306259e-10, 1.2233928830386981e-11},
+      {0, 5, 1.558278226435531e-10, 1.210467651879166e-11},
+      {0, 6, 1.3563478747008786e-10, 1.0142382255871747e-11},
+      {0, 7, 1.5046826778841212e-10, 1.2070938890247776e-11},
+      {0, 8, 1.4554383510574389e-10, 1.2296380375452511e-11},
+      {1, 0, 9.1509173774754652e-11, 3.1897367630587381e-12},
+      {2, 0, 1.4467212094003887e-10, 7.7816341889140376e-12},
+      {2, 1, 1.2229281323561996e-10, 7.807436679753829e-12},
+      {2, 2, 1.7534402722956929e-10, 1.2991803066857353e-11},
+      {2, 3, 1.6018057980603812e-10, 1.0611014191971078e-11},
+      {2, 4, 1.7087114393487192e-10, 1.2964095973430822e-11},
+      {2, 5, 1.7039483670667373e-10, 1.3204554072900528e-11},
+      {2, 6, 1.4670727533691605e-10, 1.1858678965733387e-11},
+      {2, 7, 1.2732107114772392e-10, 9.65465786367808e-12},
+  };
+  ASSERT_FALSE(golden.empty());
+  for (const Golden& g : golden) {
+    ASSERT_LT(g.net, results.size());
+    ASSERT_LT(g.path, results[g.net].size());
+    const auto& pe = results[g.net][g.path];
+    EXPECT_NEAR(pe.slew, g.slew, std::abs(g.slew) * 1e-4)
+        << "net " << g.net << " path " << g.path;
+    EXPECT_NEAR(pe.delay, g.delay, std::abs(g.delay) * 1e-4)
+        << "net " << g.net << " path " << g.path;
+  }
+}
+
+TEST_F(ServingTest, StatsAreFilled) {
+  const auto batch = items();
+  core::InferenceStats stats;
+  const auto results = estimator_->estimate_batch(batch, {.threads = 2}, &stats);
+
+  EXPECT_EQ(stats.nets, nets_.size());
+  std::size_t paths = 0;
+  for (const auto& r : results) paths += r.size();
+  EXPECT_EQ(stats.paths, paths);
+  EXPECT_GT(stats.paths, 0u);
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.nets_per_second, 0.0);
+  EXPECT_GT(stats.p50_net_seconds, 0.0);
+  EXPECT_GE(stats.p99_net_seconds, stats.p50_net_seconds);
+  EXPECT_GT(stats.arena_peak_bytes, 0u);
+  EXPECT_GT(stats.arena_reused_buffers + stats.arena_fresh_allocs, 0u);
+  EXPECT_FALSE(stats.summary().empty());
+
+  // merge() accumulates counts and keeps conservative percentiles.
+  core::InferenceStats total;
+  total.merge(stats);
+  total.merge(stats);
+  EXPECT_EQ(total.nets, 2 * stats.nets);
+  EXPECT_EQ(total.paths, 2 * stats.paths);
+  EXPECT_DOUBLE_EQ(total.p99_net_seconds, stats.p99_net_seconds);
+}
+
+TEST_F(ServingTest, EmptyBatch) {
+  core::InferenceStats stats;
+  const auto results =
+      estimator_->estimate_batch({}, {.threads = 4}, &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(stats.nets, 0u);
+  EXPECT_EQ(stats.paths, 0u);
+}
+
+TEST_F(ServingTest, ArenaReusesBuffersAcrossBatches) {
+  const auto batch = items();
+  std::vector<nn::Workspace> workspaces;
+  core::BatchOptions options;
+  options.threads = 1;
+  options.workspaces = &workspaces;
+
+  core::InferenceStats first, second;
+  (void)estimator_->estimate_batch(batch, options, &first);
+  (void)estimator_->estimate_batch(batch, options, &second);
+
+  // Cold arenas hit the heap at least once per distinct buffer size.
+  EXPECT_GT(first.arena_fresh_allocs, 0u);
+  // A warm arena owns every capacity the identical batch needs: the second
+  // pass must be fully served from the pool.
+  EXPECT_EQ(second.arena_fresh_allocs, 0u);
+  EXPECT_GT(second.arena_reused_buffers, 0u);
+  EXPECT_EQ(second.arena_peak_bytes, first.arena_peak_bytes);
+}
+
+TEST_F(ServingTest, StaBatchedEstimatorIsThreadInvariant) {
+  netlist::DesignGenConfig cfg;
+  cfg.seed = 5;
+  cfg.levels = 4;
+  cfg.cells_per_level = 6;
+  cfg.startpoints = 4;
+  const netlist::Design design =
+      netlist::generate_design(cfg, *library_, "serving_sta");
+
+  core::EstimatorWireSource serial(*estimator_, design, *library_, 1);
+  core::EstimatorWireSource threaded(*estimator_, design, *library_, 3);
+  const netlist::StaResult r1 = netlist::run_sta(design, *library_, serial);
+  const netlist::StaResult r3 = netlist::run_sta(design, *library_, threaded);
+
+  ASSERT_EQ(r1.endpoint_arrival.size(), r3.endpoint_arrival.size());
+  ASSERT_FALSE(r1.endpoint_arrival.empty());
+  for (std::size_t e = 0; e < r1.endpoint_arrival.size(); ++e)
+    EXPECT_EQ(r1.endpoint_arrival[e], r3.endpoint_arrival[e]) << "endpoint " << e;
+  for (std::size_t v = 0; v < r1.arrival.size(); ++v) {
+    EXPECT_EQ(r1.arrival[v], r3.arrival[v]) << "instance " << v;
+    EXPECT_EQ(r1.slew[v], r3.slew[v]) << "instance " << v;
+  }
+
+  // Both sources timed every net of the design exactly once.
+  EXPECT_EQ(serial.stats().nets, threaded.stats().nets);
+  EXPECT_EQ(serial.stats().nets, design.nets.size());
+  EXPECT_EQ(threaded.stats().threads, 3u);
+}
+
+}  // namespace

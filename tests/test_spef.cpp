@@ -1,6 +1,7 @@
 // SPEF writer/parser round-trip and robustness tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <sstream>
 
@@ -122,6 +123,68 @@ TEST(Spef, SparseNodeIndicesAreCompacted) {
   ASSERT_EQ(result.nets.size(), 1u);
   EXPECT_EQ(result.nets[0].node_count(), 2u);
   EXPECT_EQ(result.nets[0].sinks[0], 1u);
+}
+
+TEST(Spef, RandomizedNetsPreserveElectricalProperties) {
+  // Property-based round-trip over a mixed population: for ~50 randomized
+  // nets (half non-tree), write+parse must preserve the topology and the
+  // aggregate electrical quantities that downstream timing depends on.
+  std::mt19937_64 rng(2026);
+  NetGenConfig cfg;
+  cfg.non_tree_fraction = 0.5;
+  cfg.coupling_prob = 0.5;
+
+  std::vector<RcNet> nets;
+  nets.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    RcNet net = generate_net(cfg, rng, "prop" + std::to_string(i));
+    if (net.validate().empty()) nets.push_back(std::move(net));
+  }
+  ASSERT_GE(nets.size(), 45u);
+  bool saw_non_tree = false;
+  bool saw_coupling = false;
+
+  std::ostringstream out;
+  out.precision(17);
+  write_spef(out, nets);
+  std::istringstream in(out.str());
+  const SpefParseResult result = parse_spef(in);
+  EXPECT_TRUE(result.warnings.empty());
+  ASSERT_EQ(result.nets.size(), nets.size());
+
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const RcNet& a = nets[i];
+    const RcNet& b = result.nets[i];
+    SCOPED_TRACE(a.name);
+
+    // Topology survives: node/terminal structure and tree-ness.
+    EXPECT_EQ(a.node_count(), b.node_count());
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.sinks, b.sinks);
+    EXPECT_EQ(a.is_tree(), b.is_tree());
+    EXPECT_EQ(a.resistors.size(), b.resistors.size());
+    EXPECT_TRUE(b.validate().empty());
+
+    // Aggregate electrical quantities survive to parse precision.
+    const double rtol = 1e-9;
+    EXPECT_NEAR(a.total_resistance(), b.total_resistance(),
+                rtol * a.total_resistance());
+    EXPECT_NEAR(a.total_ground_cap(), b.total_ground_cap(),
+                rtol * a.total_ground_cap());
+    EXPECT_NEAR(a.total_coupling_cap(), b.total_coupling_cap(),
+                rtol * std::max(a.total_coupling_cap(), 1e-18));
+
+    // Per-sink pin caps (what the driver NLDM lookup consumes).
+    for (const auto sink : a.sinks)
+      EXPECT_NEAR(a.ground_cap[sink], b.ground_cap[sink],
+                  rtol * a.ground_cap[sink]);
+
+    saw_non_tree = saw_non_tree || !a.is_tree();
+    saw_coupling = saw_coupling || !a.couplings.empty();
+  }
+  // The population must actually exercise both hard cases.
+  EXPECT_TRUE(saw_non_tree);
+  EXPECT_TRUE(saw_coupling);
 }
 
 TEST(Spef, ForeignNodeNamesAreSkippedGracefully) {

@@ -12,14 +12,20 @@
 //       Arch: gnntrans (default), graphsage, gcnii, gat, transformer.
 //   eval      --spef IN --model IN
 //       Score a trained model against golden timing on the given nets.
-//   predict   --spef IN --model IN
+//   predict   --spef IN --model IN [--threads T] [--batch B]
 //       Per-path slew/delay report for every net (no golden timing).
-//   sta       --verilog IN --spef IN [--model IN] [--paths K]
+//       Inference runs through the batched serving path: nets are grouped
+//       into batches of B (default 64) and fanned out over T workers
+//       (default 1); a throughput/latency summary goes to stderr.
+//   sta       --verilog IN --spef IN [--model IN] [--threads T] [--paths K]
 //       Full-design arrival report; wire timing from the golden simulator,
-//       or from the trained model when --model is given. --paths K appends a
-//       sign-off style report of the K worst paths.
+//       or from the trained model when --model is given. With a model,
+//       --threads T parallelizes wire inference within each topological
+//       level (identical arrivals for any T). --paths K appends a sign-off
+//       style report of the K worst paths.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -229,14 +235,44 @@ int cmd_predict(const Args& args) {
   const auto estimator =
       core::WireTimingEstimator::load_file(args.require("model"));
   const auto nets = load_spef(args.require("spef"));
-  std::printf("%-16s %-6s %12s %12s\n", "net", "sink", "delay(ps)", "slew(ps)");
+  const auto threads =
+      static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
+  const auto batch_size =
+      static_cast<std::size_t>(std::max(1L, args.get_long("batch", 64)));
+
+  std::vector<const rcnet::RcNet*> valid;
+  std::vector<features::NetContext> contexts;
   for (const rcnet::RcNet& net : nets) {
     if (!net.validate().empty()) continue;
-    const auto estimates = estimator.estimate(net, context_for(library, net));
-    for (const core::PathEstimate& pe : estimates)
-      std::printf("%-16s %-6u %12.2f %12.2f\n", net.name.c_str(), pe.sink,
-                  pe.delay * 1e12, pe.slew * 1e12);
+    valid.push_back(&net);
+    contexts.push_back(context_for(library, net));
   }
+
+  // Serve through the batched path: one pool + per-worker workspaces reused
+  // across batches, so arenas stay warm for the whole file.
+  core::ThreadPool pool(threads);
+  std::vector<nn::Workspace> workspaces;
+  core::BatchOptions options;
+  options.pool = threads > 1 ? &pool : nullptr;
+  options.threads = threads;
+  options.workspaces = &workspaces;
+  core::InferenceStats total;
+
+  std::printf("%-16s %-6s %12s %12s\n", "net", "sink", "delay(ps)", "slew(ps)");
+  for (std::size_t begin = 0; begin < valid.size(); begin += batch_size) {
+    const std::size_t count = std::min(batch_size, valid.size() - begin);
+    std::vector<core::NetBatchItem> items(count);
+    for (std::size_t i = 0; i < count; ++i)
+      items[i] = {valid[begin + i], &contexts[begin + i]};
+    core::InferenceStats stats;
+    const auto batches = estimator.estimate_batch(items, options, &stats);
+    total.merge(stats);
+    for (std::size_t i = 0; i < count; ++i)
+      for (const core::PathEstimate& pe : batches[i])
+        std::printf("%-16s %-6u %12.2f %12.2f\n", valid[begin + i]->name.c_str(),
+                    pe.sink, pe.delay * 1e12, pe.slew * 1e12);
+  }
+  std::fprintf(stderr, "serving: %s\n", total.summary().c_str());
   return 0;
 }
 
@@ -265,10 +301,14 @@ int cmd_sta(const Args& args) {
   std::string source_name;
   std::optional<core::WireTimingEstimator> estimator;
   if (const auto model_path = args.get("model")) {
+    const auto threads =
+        static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
     estimator = core::WireTimingEstimator::load_file(*model_path);
-    core::EstimatorWireSource source(*estimator, parsed.design, library);
+    core::EstimatorWireSource source(*estimator, parsed.design, library,
+                                     threads);
     sta = netlist::run_sta(parsed.design, library, source);
     source_name = source.name();
+    std::fprintf(stderr, "serving: %s\n", source.stats().summary().c_str());
   } else {
     netlist::GoldenWireSource source{sim::TransientConfig{}};
     sta = netlist::run_sta(parsed.design, library, source);
