@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "cell/nldm.hpp"
+#include "core/telemetry/telemetry.hpp"
 
 namespace gnntrans::cell {
 
@@ -331,11 +332,21 @@ std::string to_liberty(const CellLibrary& library) {
 }
 
 LibertyParseResult parse_liberty(std::istream& in) {
+  const telemetry::TraceSpan span("parse_liberty", "io");
+  static telemetry::Counter cells_metric =
+      telemetry::MetricsRegistry::global().counter(
+          "gnntrans_liberty_cells_parsed_total",
+          "Cells read from Liberty input");
+  static telemetry::Counter warn_metric =
+      telemetry::MetricsRegistry::global().counter(
+          "gnntrans_liberty_warnings_total",
+          "Warnings raised by the Liberty parser");
   LibertyParseResult result;
   Parser parser(in);
   const std::unique_ptr<Group> top = parser.parse_top();
   if (top->name != "library") {
     result.warnings.push_back("top-level group is '" + top->name + "', expected 'library'");
+    warn_metric.inc(result.warnings.size());
     return result;
   }
 
@@ -388,6 +399,8 @@ LibertyParseResult parse_liberty(std::istream& in) {
     cell.arc.output_slew = std::move(*transition);
     result.cells.push_back(std::move(cell));
   }
+  cells_metric.inc(result.cells.size());
+  warn_metric.inc(result.warnings.size());
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/telemetry/telemetry.hpp"
 #include "tensor/serialize.hpp"
 
 namespace gnntrans::core {
@@ -19,15 +20,34 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Nearest-rank percentile of an unsorted latency sample (q in [0, 1]).
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const std::size_t rank = std::min(
-      values.size() - 1,
-      static_cast<std::size_t>(q * static_cast<double>(values.size())));
-  return values[rank];
-}
+/// Serving metrics, registered once in the global registry. Handles are
+/// lock-free to increment; scrape happens via MetricsRegistry exports.
+struct ServingMetrics {
+  telemetry::Counter nets = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_nets_total", "Nets served by estimate_batch");
+  telemetry::Counter paths = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_paths_total", "Source-sink paths served");
+  telemetry::Histogram net_latency =
+      telemetry::MetricsRegistry::global().histogram(
+          "gnntrans_serving_net_latency_seconds",
+          telemetry::HistogramData::default_latency_bounds(),
+          "Per-net inference wall latency");
+  telemetry::Histogram batch_latency =
+      telemetry::MetricsRegistry::global().histogram(
+          "gnntrans_serving_batch_seconds",
+          telemetry::HistogramData::default_latency_bounds(),
+          "estimate_batch wall time");
+  telemetry::Gauge arena_peak = telemetry::MetricsRegistry::global().gauge(
+      "gnntrans_serving_arena_peak_bytes",
+      "Max per-worker scratch-arena high-water mark");
+  telemetry::Gauge pool_threads = telemetry::MetricsRegistry::global().gauge(
+      "gnntrans_serving_pool_threads", "Workers used by the last batch");
+
+  static const ServingMetrics& get() {
+    static const ServingMetrics metrics;
+    return metrics;
+  }
+};
 
 std::string human_bytes(std::size_t bytes) {
   char buf[32];
@@ -49,8 +69,9 @@ void InferenceStats::merge(const InferenceStats& other) {
   wall_seconds += other.wall_seconds;
   nets_per_second =
       wall_seconds > 0.0 ? static_cast<double>(nets) / wall_seconds : 0.0;
-  p50_net_seconds = std::max(p50_net_seconds, other.p50_net_seconds);
-  p99_net_seconds = std::max(p99_net_seconds, other.p99_net_seconds);
+  latency.merge(other.latency);
+  p50_net_seconds = latency.quantile(0.50);
+  p99_net_seconds = latency.quantile(0.99);
   arena_peak_bytes = std::max(arena_peak_bytes, other.arena_peak_bytes);
   arena_reused_buffers += other.arena_reused_buffers;
   arena_fresh_allocs += other.arena_fresh_allocs;
@@ -102,12 +123,16 @@ std::vector<PathEstimate> WireTimingEstimator::estimate_one(
   features::WireRecord rec;
   rec.net = net;
   rec.context = context;
-  rec.raw = features::extract_features(net, context);
+  {
+    const telemetry::TraceSpan span("featurize", "serving");
+    rec.raw = features::extract_features(net, context);
+  }
   rec.non_tree = !net.is_tree();
   rec.slew_labels.assign(rec.raw.analysis.paths.size(), 0.0);
   rec.delay_labels.assign(rec.raw.analysis.paths.size(), 0.0);
 
   const nn::GraphSample sample = standardizer_.make_sample(rec);
+  const telemetry::TraceSpan forward_span("forward", "serving");
   const nn::WirePrediction pred = model_->forward(sample, workspace);
 
   std::vector<PathEstimate> out;
@@ -130,6 +155,7 @@ std::vector<PathEstimate> WireTimingEstimator::estimate(
 std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     std::span<const NetBatchItem> items, const BatchOptions& options,
     InferenceStats* stats) const {
+  const telemetry::TraceSpan batch_span("estimate_batch", "serving");
   const auto start = Clock::now();
   std::vector<std::vector<PathEstimate>> results(items.size());
   std::vector<double> latency(items.size(), 0.0);
@@ -166,22 +192,39 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     pool->parallel_for(items.size(), run_one);
   }
 
+  const double wall = seconds_since(start);
+  std::size_t total_paths = 0;
+  for (const auto& r : results) total_paths += r.size();
+  std::size_t peak_bytes = 0;
+  for (std::size_t w = 0; w < threads; ++w)
+    peak_bytes = std::max(peak_bytes, workspaces[w].arena_stats().peak_bytes);
+
+  // Publish to the process-global registry regardless of whether the caller
+  // asked for per-call stats — dashboards see every batch.
+  const ServingMetrics& metrics = ServingMetrics::get();
+  metrics.nets.inc(items.size());
+  metrics.paths.inc(total_paths);
+  for (const double s : latency) metrics.net_latency.observe(s);
+  metrics.batch_latency.observe(wall);
+  metrics.arena_peak.set_max(static_cast<double>(peak_bytes));
+  metrics.pool_threads.set(static_cast<double>(threads));
+
   if (stats) {
     *stats = InferenceStats{};
     stats->nets = items.size();
-    for (const auto& r : results) stats->paths += r.size();
+    stats->paths = total_paths;
     stats->threads = threads;
-    stats->wall_seconds = seconds_since(start);
+    stats->wall_seconds = wall;
     stats->nets_per_second =
         stats->wall_seconds > 0.0
             ? static_cast<double>(stats->nets) / stats->wall_seconds
             : 0.0;
-    stats->p50_net_seconds = percentile(latency, 0.50);
-    stats->p99_net_seconds = percentile(latency, 0.99);
+    for (const double s : latency) stats->latency.observe(s);
+    stats->p50_net_seconds = stats->latency.quantile(0.50);
+    stats->p99_net_seconds = stats->latency.quantile(0.99);
+    stats->arena_peak_bytes = peak_bytes;
     for (std::size_t w = 0; w < threads; ++w) {
       const tensor::ScratchArena::Stats after = workspaces[w].arena_stats();
-      stats->arena_peak_bytes =
-          std::max(stats->arena_peak_bytes, after.peak_bytes);
       stats->arena_reused_buffers += after.reused - before[w].reused;
       stats->arena_fresh_allocs += after.allocated - before[w].allocated;
     }

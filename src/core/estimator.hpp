@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/telemetry/metrics.hpp"
 #include "core/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "features/dataset.hpp"
@@ -42,18 +43,21 @@ struct PathEstimate {
   double delay = 0.0;
 };
 
-/// Observability counters for batched inference. Percentiles are computed
-/// over per-net wall latencies of one estimate_batch call; merge() combines
-/// calls (sums counts/time, keeps the worse percentile as a conservative
-/// bound since exact percentiles do not compose).
+/// Observability counters for batched inference. Per-net wall latencies are
+/// tallied into a telemetry::HistogramData (fixed 1-2-5 buckets, 1 us..1 s);
+/// p50/p99 are derived through its quantile API, which is well-defined on
+/// empty and single-net batches (0 for empty, never NaN). merge() combines
+/// calls exactly: histograms add bucket-wise, so merged percentiles are the
+/// percentiles of the pooled sample rather than a conservative bound.
 struct InferenceStats {
   std::size_t nets = 0;
   std::size_t paths = 0;
   std::size_t threads = 1;
   double wall_seconds = 0.0;
   double nets_per_second = 0.0;
-  double p50_net_seconds = 0.0;
-  double p99_net_seconds = 0.0;
+  double p50_net_seconds = 0.0;  ///< latency.quantile(0.50)
+  double p99_net_seconds = 0.0;  ///< latency.quantile(0.99)
+  telemetry::HistogramData latency;      ///< per-net wall latency, seconds
   std::size_t arena_peak_bytes = 0;      ///< max per-worker high-water mark
   std::size_t arena_reused_buffers = 0;  ///< acquisitions served by the arenas
   std::size_t arena_fresh_allocs = 0;    ///< acquisitions that hit the heap

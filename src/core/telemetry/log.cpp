@@ -1,0 +1,174 @@
+#include "core/telemetry/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace gnntrans::telemetry {
+
+namespace {
+
+/// "2026-08-06T12:00:00.123Z" (UTC, millisecond resolution).
+std::string format_timestamp(std::chrono::system_clock::time_point tp) {
+  const std::time_t secs = std::chrono::system_clock::to_time_t(tp);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          tp.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03dZ", static_cast<int>(millis));
+  return buf;
+}
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name, bool* ok) noexcept {
+  if (ok) *ok = true;
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  if (ok) *ok = false;
+  return LogLevel::kOff;
+}
+
+std::uint32_t this_thread_id() noexcept {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void StreamSink::write(const LogRecord& record) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "%-5s", to_string(record.level));
+  out_ << format_timestamp(record.time) << ' ' << head << " ["
+       << record.component << "] " << record.message << '\n';
+  out_.flush();
+}
+
+void StderrSink::write(const LogRecord& record) {
+  StreamSink sink(std::cerr);
+  sink.write(record);
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!*file)
+    throw std::runtime_error("JsonLinesSink: cannot open " + path);
+  out_ = file.get();
+  owned_ = std::move(file);
+}
+
+void JsonLinesSink::write(const LogRecord& record) {
+  *out_ << "{\"ts\":\"" << format_timestamp(record.time) << "\",\"level\":\""
+        << to_string(record.level) << "\",\"component\":\""
+        << json_escape(record.component) << "\",\"thread\":"
+        << record.thread_id << ",\"msg\":\"" << json_escape(record.message)
+        << "\"}\n";
+  out_->flush();
+}
+
+Logger& Logger::global() {
+  static Logger* logger = [] {
+    auto* l = new Logger();
+    l->add_sink(std::make_shared<StderrSink>());
+    return l;
+  }();
+  return *logger;
+}
+
+void Logger::add_sink(std::shared_ptr<LogSink> sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::clear_sinks() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.clear();
+}
+
+std::size_t Logger::sink_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sinks_.size();
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.time = std::chrono::system_clock::now();
+  record.thread_id = this_thread_id();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<LogSink>& sink : sinks_) sink->write(record);
+}
+
+void Logger::logf(LogLevel level, const char* component, const char* format,
+                  ...) {
+  char stack_buf[512];
+  std::va_list args;
+  va_start(args, format);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), format, args);
+  va_end(args);
+  if (needed < 0) return;
+
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    log(level, component, std::string_view(stack_buf,
+                                           static_cast<std::size_t>(needed)));
+    return;
+  }
+  std::string big(static_cast<std::size_t>(needed), '\0');
+  va_start(args, format);
+  std::vsnprintf(big.data(), big.size() + 1, format, args);
+  va_end(args);
+  log(level, component, big);
+}
+
+}  // namespace gnntrans::telemetry

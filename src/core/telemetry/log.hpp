@@ -1,0 +1,169 @@
+/// \file log.hpp
+/// Structured, leveled logging with pluggable sinks.
+///
+/// One process-global Logger (Logger::global()) fans each record out to a set of
+/// sinks: human-readable text on stderr, JSON-lines to a file, or any custom
+/// LogSink. Call sites use the GNNTRANS_LOG_* macros, which are filtered
+/// twice: at compile time against GNNTRANS_MIN_LOG_LEVEL (records below it
+/// cost literally nothing — the statement is discarded by `if constexpr`),
+/// and at run time against Logger::level() *before* the message is formatted,
+/// so a disabled level costs one relaxed atomic load.
+///
+///   GNNTRANS_LOG_WARN("spef", "line %zu: dangling node %s", line, name);
+///
+/// Formatting and sink fan-out are thread-safe; records from concurrent
+/// threads never interleave within one sink.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnntrans::telemetry {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-sensitive). Returns kOff and sets *ok=false on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name,
+                                       bool* ok = nullptr) noexcept;
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-use order);
+/// stable for the thread's lifetime. Shared by log records and trace events.
+[[nodiscard]] std::uint32_t this_thread_id() noexcept;
+
+/// Escapes \p s for embedding inside a JSON string literal (quotes not
+/// included). Shared by the JSON-lines sink and the metrics JSON export.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// One log record, fully formatted message included.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string_view component;  ///< subsystem tag, e.g. "spef", "serving"
+  std::string_view message;
+  std::chrono::system_clock::time_point time;
+  std::uint32_t thread_id = 0;
+};
+
+/// Sink interface. write() is always invoked under the logger's sink mutex,
+/// so implementations need no locking of their own.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Human-readable text to an arbitrary stream:
+///   2026-08-06T12:00:00.123Z WARN  [spef] message
+class StreamSink final : public LogSink {
+ public:
+  explicit StreamSink(std::ostream& out) : out_(out) {}
+  void write(const LogRecord& record) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// StreamSink bound to stderr (the default sink of Logger::global()).
+class StderrSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// One JSON object per line, machine-parseable:
+///   {"ts":"...","level":"warn","component":"spef","thread":0,"msg":"..."}
+class JsonLinesSink final : public LogSink {
+ public:
+  /// Appends to \p path; throws std::runtime_error if it cannot be opened.
+  explicit JsonLinesSink(const std::string& path);
+  /// Writes to an externally owned stream (tests).
+  explicit JsonLinesSink(std::ostream& out) : out_(&out) {}
+  void write(const LogRecord& record) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_ = nullptr;
+};
+
+/// Leveled logger with a sink registry.
+class Logger {
+ public:
+  /// Starts with no sinks and level kInfo. The global() logger additionally
+  /// gets a StderrSink installed on first use.
+  Logger() = default;
+
+  /// Process-wide logger used by the GNNTRANS_LOG_* macros.
+  [[nodiscard]] static Logger& global();
+
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool should_log(LogLevel level) const noexcept {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  void add_sink(std::shared_ptr<LogSink> sink);
+  void clear_sinks();
+  [[nodiscard]] std::size_t sink_count() const;
+
+  /// Emits a pre-formatted message (no level check — callers go through
+  /// should_log, the macros do this automatically).
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+  /// printf-style formatting; the message is formatted only after the level
+  /// check made by the macros.
+  [[gnu::format(printf, 4, 5)]] void logf(LogLevel level,
+                                          const char* component,
+                                          const char* format, ...);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<LogSink>> sinks_;
+};
+
+}  // namespace gnntrans::telemetry
+
+/// Compile-time log floor: records below this level are discarded at compile
+/// time. 0=trace ... 4=error, 5=off. Override with -DGNNTRANS_MIN_LOG_LEVEL=N.
+#ifndef GNNTRANS_MIN_LOG_LEVEL
+#define GNNTRANS_MIN_LOG_LEVEL 0
+#endif
+
+#define GNNTRANS_LOG_IMPL(level_const, level_int, component, ...)             \
+  do {                                                                        \
+    if constexpr ((level_int) >= GNNTRANS_MIN_LOG_LEVEL) {                    \
+      auto& gnntrans_logger_ = ::gnntrans::telemetry::Logger::global();       \
+      if (gnntrans_logger_.should_log(level_const))                           \
+        gnntrans_logger_.logf(level_const, component, __VA_ARGS__);           \
+    }                                                                         \
+  } while (0)
+
+#define GNNTRANS_LOG_TRACE(component, ...) \
+  GNNTRANS_LOG_IMPL(::gnntrans::telemetry::LogLevel::kTrace, 0, component, __VA_ARGS__)
+#define GNNTRANS_LOG_DEBUG(component, ...) \
+  GNNTRANS_LOG_IMPL(::gnntrans::telemetry::LogLevel::kDebug, 1, component, __VA_ARGS__)
+#define GNNTRANS_LOG_INFO(component, ...) \
+  GNNTRANS_LOG_IMPL(::gnntrans::telemetry::LogLevel::kInfo, 2, component, __VA_ARGS__)
+#define GNNTRANS_LOG_WARN(component, ...) \
+  GNNTRANS_LOG_IMPL(::gnntrans::telemetry::LogLevel::kWarn, 3, component, __VA_ARGS__)
+#define GNNTRANS_LOG_ERROR(component, ...) \
+  GNNTRANS_LOG_IMPL(::gnntrans::telemetry::LogLevel::kError, 4, component, __VA_ARGS__)

@@ -1,0 +1,221 @@
+/// \file metrics.hpp
+/// Process-wide metrics: named counters, gauges, and fixed-bucket histograms.
+///
+/// Hot-path increments are sharded: every metric keeps kMetricShards
+/// cache-line-padded atomic cells and each thread writes the cell picked by
+/// its dense thread id, so concurrent increments from pool workers almost
+/// never contend on a cache line. Shards are summed only on scrape
+/// (snapshot / export), which is the rare path.
+///
+/// Handles (Counter, Gauge, Histogram) are cheap value types pointing at
+/// registry-owned state; the registry is append-only, so handles stay valid
+/// for the registry's lifetime and registering the same name twice returns
+/// the same metric.
+///
+/// Exports: Prometheus text exposition format (prometheus_text) and a JSON
+/// document (json_text).
+///
+/// HistogramData is the underlying value-type histogram (bounds + counts +
+/// sum); it is also used standalone, e.g. core::InferenceStats records its
+/// per-net latency distribution in one and derives p50/p99 through
+/// HistogramData::quantile, which is defined (returns 0) on empty data.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnntrans::telemetry {
+
+/// Number of per-metric shard cells. Threads map to cells by dense thread id
+/// modulo this, so up to kMetricShards threads increment without sharing a
+/// cache line.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Fixed-bucket histogram value type. Buckets are defined by ascending upper
+/// bounds; values above the last bound land in an overflow bucket. Counts,
+/// sum, and count are plain (non-atomic) — one writer at a time; the
+/// registry-backed Histogram handle does its own sharded atomics and merges
+/// into HistogramData on scrape.
+class HistogramData {
+ public:
+  /// Default buckets: the latency ladder (1 us .. 1 s, 1-2-5 steps).
+  HistogramData() : HistogramData(default_latency_bounds()) {}
+  explicit HistogramData(std::vector<double> upper_bounds);
+
+  /// Exponential 1-2-5 ladder from 1 us to 1 s, suitable for per-net serving
+  /// latencies and parse/STA stage times.
+  [[nodiscard]] static std::vector<double> default_latency_bounds();
+
+  void observe(double value);
+
+  /// Adds \p other into this histogram. Throws std::invalid_argument when the
+  /// bucket bounds differ (unless one side has never observed anything and
+  /// simply adopts the other's bounds).
+  void merge(const HistogramData& other);
+
+  /// Quantile estimate by linear interpolation inside the covering bucket.
+  /// q is clamped to [0, 1]. Returns 0.0 on an empty histogram — never NaN,
+  /// never reads out of bounds (the empty/single-observation edge cases that
+  /// index-based percentile code gets wrong). Values in the overflow bucket
+  /// report the last finite bound.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+  void reset();
+
+  /// Replaces the raw tallies wholesale (shard-merge plumbing; counts must
+  /// have bounds().size() + 1 entries).
+  void adopt(std::vector<std::uint64_t> counts, std::uint64_t count, double sum);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+namespace detail {
+
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterState;
+struct GaugeState;
+struct HistogramState;
+
+/// Shard cell index for the calling thread.
+[[nodiscard]] std::size_t this_thread_shard() noexcept;
+
+}  // namespace detail
+
+/// Monotonic counter handle.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const noexcept;
+  /// Scrape-side read (sums shards); exact once writers are quiescent.
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterState* state) : state_(state) {}
+  detail::CounterState* state_ = nullptr;
+};
+
+/// Last-write-wins gauge handle (also supports add for +/- adjustments).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const noexcept;
+  void add(double delta) const noexcept;
+  /// set(value) only when value exceeds the current reading (peak tracking).
+  void set_max(double value) const noexcept;
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeState* state) : state_(state) {}
+  detail::GaugeState* state_ = nullptr;
+};
+
+/// Sharded fixed-bucket histogram handle.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const noexcept;
+  /// Merged snapshot of all shards.
+  [[nodiscard]] HistogramData snapshot() const;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramState* state) : state_(state) {}
+  detail::HistogramState* state_ = nullptr;
+};
+
+/// Point-in-time view of every metric, shards merged.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name, help;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name, help;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name, help;
+    HistogramData data;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Prometheus text exposition format (counters get a _total-as-written
+  /// name, histograms emit _bucket/_sum/_count series with le labels).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// One JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Registry of named metrics. Registration takes a mutex; increments through
+/// the returned handles are lock-free. Metric names should follow Prometheus
+/// conventions ([a-zA-Z_:][a-zA-Z0-9_:]*); other characters are sanitized to
+/// '_' on export.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  /// Process-wide registry the pipeline instrumentation reports to.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Idempotent by name; registering an existing name with a different type
+  /// throws std::invalid_argument.
+  [[nodiscard]] Counter counter(std::string_view name,
+                                std::string_view help = "");
+  [[nodiscard]] Gauge gauge(std::string_view name, std::string_view help = "");
+  [[nodiscard]] Histogram histogram(std::string_view name,
+                                    std::vector<double> upper_bounds,
+                                    std::string_view help = "");
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string prometheus_text() const {
+    return snapshot().to_prometheus();
+  }
+  [[nodiscard]] std::string json_text() const { return snapshot().to_json(); }
+
+  /// Zeroes every metric value in place (handles stay valid). Meant for
+  /// tests and bench warm-up isolation, not for concurrent use with writers.
+  void reset();
+
+  [[nodiscard]] std::size_t metric_count() const;
+
+ private:
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+  mutable Impl* impl_ = nullptr;  ///< lazily built, owned
+};
+
+}  // namespace gnntrans::telemetry

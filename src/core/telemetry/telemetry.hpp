@@ -1,0 +1,10 @@
+/// \file telemetry.hpp
+/// Umbrella header for the observability subsystem: structured logging
+/// (log.hpp), the sharded metrics registry (metrics.hpp), and trace-span
+/// profiling (trace.hpp). Zero external dependencies; see DESIGN.md
+/// "Telemetry" for the architecture and overhead budget.
+#pragma once
+
+#include "core/telemetry/log.hpp"
+#include "core/telemetry/metrics.hpp"
+#include "core/telemetry/trace.hpp"

@@ -1,0 +1,175 @@
+#include "core/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "core/telemetry/log.hpp"
+
+namespace gnntrans::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = std::min(cap - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+/// Per-thread event ring. The owner thread appends; json export and clear
+/// lock the mutex, which the owner also takes per append — uncontended in
+/// steady state, so the cost is a couple of ns and the structure is clean
+/// under TSan.
+struct TraceRecorder::Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t tid)
+      : thread_id(tid), events(capacity) {}
+
+  std::uint32_t thread_id = 0;
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> events;  ///< fixed capacity, circular
+  std::size_t next = 0;            ///< write cursor
+  std::uint64_t written = 0;       ///< total appends since clear
+};
+
+struct TraceRecorder::Impl {
+  const std::uint64_t id = g_next_recorder_id.fetch_add(1);
+  const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mutex;  ///< guards rings vector growth
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::size_t ring_capacity = 16384;
+};
+
+TraceRecorder::Impl& TraceRecorder::impl() const {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing) return *existing;
+  auto* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh,
+                                    std::memory_order_acq_rel))
+    return *fresh;
+  delete fresh;
+  return *existing;
+}
+
+TraceRecorder::~TraceRecorder() { delete impl_.load(); }
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+std::int64_t TraceRecorder::now_ns() const noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - impl().epoch)
+      .count();
+}
+
+TraceRecorder::Ring& TraceRecorder::ring_for_this_thread() {
+  // Cache keyed by recorder id: ids are never reused, so a stale cache entry
+  // from a destroyed recorder can never alias a live one.
+  thread_local std::vector<std::pair<std::uint64_t, Ring*>> t_cache;
+  Impl& im = impl();
+  for (const auto& [id, ring] : t_cache)
+    if (id == im.id) return *ring;
+
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  im.rings.push_back(
+      std::make_unique<Ring>(im.ring_capacity, this_thread_id()));
+  Ring* ring = im.rings.back().get();
+  t_cache.emplace_back(im.id, ring);
+  return *ring;
+}
+
+void TraceRecorder::record(std::string_view name, std::string_view category,
+                           std::int64_t begin_ns, std::int64_t end_ns) noexcept {
+  if (!enabled()) return;
+  Ring& ring = ring_for_this_thread();
+  const std::lock_guard<std::mutex> lock(ring.mutex);
+  TraceEvent& event = ring.events[ring.next];
+  copy_truncated(event.name, sizeof(event.name), name);
+  copy_truncated(event.category, sizeof(event.category), category);
+  event.begin_ns = begin_ns;
+  event.end_ns = end_ns;
+  event.thread_id = ring.thread_id;
+  ring.next = (ring.next + 1) % ring.events.size();
+  ++ring.written;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  std::size_t total = 0;
+  for (const std::unique_ptr<Ring>& ring : im.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += std::min<std::uint64_t>(ring->written, ring->events.size());
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped_count() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  std::uint64_t dropped = 0;
+  for (const std::unique_ptr<Ring>& ring : im.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    if (ring->written > ring->events.size())
+      dropped += ring->written - ring->events.size();
+  }
+  return dropped;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::unique_ptr<Ring>& ring : im.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const std::size_t count =
+        std::min<std::uint64_t>(ring->written, ring->events.size());
+    // Oldest-first: when wrapped, the cursor points at the oldest event.
+    const std::size_t start = ring->written > ring->events.size() ? ring->next : 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      const TraceEvent& event =
+          ring->events[(start + k) % ring->events.size()];
+      if (!first) out << ",";
+      first = false;
+      char times[96];  // fixed %.3f keeps full µs resolution at any offset
+      std::snprintf(times, sizeof(times), "\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(event.begin_ns) / 1000.0,
+                    static_cast<double>(event.end_ns - event.begin_ns) / 1000.0);
+      out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+          << (event.category[0] ? json_escape(event.category) : "default")
+          << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.thread_id << ","
+          << times << "}";
+    }
+  }
+  out << "]}";
+}
+
+void TraceRecorder::clear() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  for (const std::unique_ptr<Ring>& ring : im.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->written = 0;
+  }
+}
+
+void TraceRecorder::set_ring_capacity(std::size_t events) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  im.ring_capacity = std::max<std::size_t>(16, events);
+}
+
+}  // namespace gnntrans::telemetry

@@ -1,0 +1,117 @@
+/// \file trace.hpp
+/// Scoped profiling spans flushed as Chrome trace_event JSON.
+///
+/// Usage: place a TraceSpan at the top of any scope worth seeing on a
+/// timeline —
+///
+///   telemetry::TraceSpan span("estimate_batch", "serving");
+///
+/// When the global TraceRecorder is disabled (the default) a span costs one
+/// relaxed atomic load at construction and nothing at destruction, so
+/// instrumentation can stay in hot paths permanently. When enabled, each
+/// completed span is appended to a per-thread ring buffer (bounded memory;
+/// the oldest events are overwritten and counted as dropped). Rings are
+/// touched by their owner thread only, except during write_chrome_json /
+/// clear, which take the per-ring mutex.
+///
+/// The output is the Chrome trace_event "X" (complete event) format: load it
+/// in chrome://tracing or https://ui.perfetto.dev to see the serving/STA
+/// pipeline as a flame chart per thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string_view>
+
+namespace gnntrans::telemetry {
+
+/// One completed span. Name/category are copied into fixed buffers at record
+/// time so callers may pass transient strings (e.g. "sta_level_7").
+struct TraceEvent {
+  char name[48] = {0};
+  char category[16] = {0};
+  std::int64_t begin_ns = 0;  ///< steady-clock ns since recorder epoch
+  std::int64_t end_ns = 0;
+  std::uint32_t thread_id = 0;
+};
+
+/// Process-global span collector.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder();
+
+  [[nodiscard]] static TraceRecorder& global();
+
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic timestamp in ns relative to the recorder's construction.
+  [[nodiscard]] std::int64_t now_ns() const noexcept;
+
+  /// Appends one completed span for the calling thread (no-op if disabled).
+  void record(std::string_view name, std::string_view category,
+              std::int64_t begin_ns, std::int64_t end_ns) noexcept;
+
+  /// Events currently retained across all rings (post-wrap this is capacity).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Events lost to ring wrap-around since the last clear().
+  [[nodiscard]] std::uint64_t dropped_count() const;
+
+  /// Chrome trace JSON ({"traceEvents":[...]}), microsecond timestamps.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Drops all recorded events (rings stay allocated).
+  void clear();
+
+  /// Per-thread ring capacity in events. Applies to rings created after the
+  /// call; default 16384 (~1.5 MiB per recording thread).
+  void set_ring_capacity(std::size_t events);
+
+ private:
+  struct Ring;
+  Ring& ring_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+  mutable std::atomic<Impl*> impl_{nullptr};
+};
+
+/// RAII span: samples the clock at construction, records on destruction.
+/// If the recorder is disabled at construction the destructor does nothing
+/// (spans never straddle an enable).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     std::string_view category = "") noexcept {
+    TraceRecorder& recorder = TraceRecorder::global();
+    if (!recorder.enabled()) return;
+    name_ = name;
+    category_ = category;
+    begin_ns_ = recorder.now_ns();
+  }
+
+  ~TraceSpan() {
+    if (begin_ns_ < 0) return;
+    TraceRecorder& recorder = TraceRecorder::global();
+    recorder.record(name_, category_, begin_ns_, recorder.now_ns());
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string_view name_;
+  std::string_view category_;
+  std::int64_t begin_ns_ = -1;
+};
+
+}  // namespace gnntrans::telemetry

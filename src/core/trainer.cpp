@@ -2,19 +2,43 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <random>
 
 #include "core/metrics.hpp"
+#include "core/telemetry/telemetry.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/optim.hpp"
 
 namespace gnntrans::core {
 
+namespace {
+
+/// Training metrics in the global registry: epoch progress plus the latest
+/// training/validation losses as gauges (scrape-friendly for loss curves).
+struct TrainMetrics {
+  telemetry::Counter epochs = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_train_epochs_total", "Training epochs completed");
+  telemetry::Gauge loss = telemetry::MetricsRegistry::global().gauge(
+      "gnntrans_train_loss", "Mean training loss of the last epoch");
+  telemetry::Gauge val_loss = telemetry::MetricsRegistry::global().gauge(
+      "gnntrans_train_validation_loss",
+      "Validation loss of the last epoch (0 when validation is disabled)");
+
+  static const TrainMetrics& get() {
+    static const TrainMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
 TrainReport train_model(nn::WireModel& model,
                         const std::vector<nn::GraphSample>& samples,
                         const TrainConfig& config) {
+  const telemetry::TraceSpan train_span("train_model", "train");
   const auto start = std::chrono::steady_clock::now();
   TrainReport report;
   if (samples.empty()) return report;
@@ -53,6 +77,9 @@ TrainReport train_model(nn::WireModel& model,
 
   float lr = config.learning_rate;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    char epoch_name[48];
+    std::snprintf(epoch_name, sizeof(epoch_name), "train_epoch_%zu", epoch);
+    const telemetry::TraceSpan epoch_span(epoch_name, "train");
     std::shuffle(order.begin(), order.end(), rng);
     double loss_sum = 0.0;
     for (std::size_t idx : order) {
@@ -68,6 +95,8 @@ TrainReport train_model(nn::WireModel& model,
     const double mean_loss =
         order.empty() ? 0.0 : loss_sum / static_cast<double>(order.size());
     report.epoch_loss.push_back(mean_loss);
+    TrainMetrics::get().epochs.inc();
+    TrainMetrics::get().loss.set(mean_loss);
     if (config.on_epoch) config.on_epoch(epoch, mean_loss);
     lr *= config.lr_decay;
     optimizer.set_learning_rate(lr);
@@ -79,6 +108,7 @@ TrainReport train_model(nn::WireModel& model,
         val_sum += sample_loss(samples[idx], model.forward(samples[idx])).item();
       const double val_loss = val_sum / static_cast<double>(val_set.size());
       report.validation_loss.push_back(val_loss);
+      TrainMetrics::get().val_loss.set(val_loss);
       if (val_loss < best_val - 1e-9) {
         best_val = val_loss;
         stale_epochs = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <numeric>
 
+#include "core/telemetry/telemetry.hpp"
 #include "sim/ceff.hpp"
 
 namespace gnntrans::netlist {
@@ -11,6 +13,25 @@ namespace gnntrans::netlist {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// STA metrics: level/net progress counters plus the wire-vs-cell wall split
+/// of the most recent run (gauges, seconds).
+struct StaMetrics {
+  telemetry::Counter levels = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_sta_levels_total", "Topological levels propagated");
+  telemetry::Counter wire_nets = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_sta_wire_nets_total", "Nets handed to the wire timing source");
+  telemetry::Gauge gate_seconds = telemetry::MetricsRegistry::global().gauge(
+      "gnntrans_sta_gate_seconds", "NLDM gate timing wall time of the last run");
+  telemetry::Gauge wire_seconds = telemetry::MetricsRegistry::global().gauge(
+      "gnntrans_sta_wire_seconds",
+      "Wire-timing-source wall time of the last run");
+
+  static const StaMetrics& get() {
+    static const StaMetrics metrics;
+    return metrics;
+  }
+};
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -57,6 +78,7 @@ double nldm_load_cap(const Design& design, const cell::CellLibrary& library,
 
 StaResult run_sta(const Design& design, const cell::CellLibrary& library,
                   WireTimingSource& wire_source, const StaConfig& config) {
+  const telemetry::TraceSpan sta_span("run_sta", "sta");
   const std::size_t n = design.instances.size();
   StaResult result;
   result.arrival.assign(n, 0.0);
@@ -97,8 +119,16 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
            design.instances[order[block_end]].level == level)
       ++block_end;
 
+    char level_name[32];
+    std::snprintf(level_name, sizeof(level_name), "sta_level_%u", level);
+    const telemetry::TraceSpan level_span(level_name, "sta");
+
     // Pass 1: gate timing for every instance of the level; collect the wire
-    // timing requests its driven nets generate.
+    // timing requests its driven nets generate. (The gate span is recorded
+    // explicitly: an RAII span here would not close until the wire pass ran.)
+    telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::global();
+    const std::int64_t gate_begin =
+        recorder.enabled() ? recorder.now_ns() : -1;
     requests.clear();
     request_owner.clear();
     for (std::size_t k = block_start; k < block_end; ++k) {
@@ -134,10 +164,18 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
       request_owner.push_back(v);
     }
 
+    if (gate_begin >= 0)
+      recorder.record("gate_timing", "sta", gate_begin, recorder.now_ns());
+    StaMetrics::get().levels.inc();
+    StaMetrics::get().wire_nets.inc(requests.size());
+
     // Pass 2: wire propagation for the whole level in one batch.
     const auto wire_start = Clock::now();
-    const std::vector<std::vector<sim::SinkTiming>> sink_batches =
-        wire_source.time_nets(requests);
+    std::vector<std::vector<sim::SinkTiming>> sink_batches;
+    {
+      const telemetry::TraceSpan wire_span("wire_timing", "sta");
+      sink_batches = wire_source.time_nets(requests);
+    }
     wire_total += seconds_since(wire_start);
 
     // Pass 3: scatter sink timings to the load pins (all at higher levels).
@@ -162,6 +200,8 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
 
   result.wire_seconds = wire_total;
   result.gate_seconds = seconds_since(gate_start) - wire_total;
+  StaMetrics::get().wire_seconds.set(result.wire_seconds);
+  StaMetrics::get().gate_seconds.set(result.gate_seconds);
 
   result.endpoint_arrival.reserve(design.endpoints.size());
   for (InstanceId e : design.endpoints)

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/telemetry/trace.hpp"
 #include "tensor/serialize.hpp"
 
 namespace gnntrans::nn {
@@ -97,10 +98,18 @@ class GnnTransModel final : public WireModel {
     const tensor::GraphMatrix& agg =
         config_.use_edge_weights ? sample.weighted_adj : sample.mean_adj;
     Tensor x = sample.x;
-    for (const SageConv& layer : gnn_) x = layer.forward(x, agg);  // Eq. (1)
+    {
+      const telemetry::TraceSpan span("gnn_forward", "model");
+      for (const SageConv& layer : gnn_) x = layer.forward(x, agg);  // Eq. (1)
+    }
     static const std::vector<std::uint8_t> kNoMask;
-    for (const SelfAttentionLayer& layer : attention_)
-      x = layer.forward(x, config_.global_attention ? kNoMask : sample.attn_mask);
+    {
+      const telemetry::TraceSpan span("attention", "model");
+      for (const SelfAttentionLayer& layer : attention_)
+        x = layer.forward(x,
+                          config_.global_attention ? kNoMask : sample.attn_mask);
+    }
+    const telemetry::TraceSpan span("heads", "model");
     Tensor pooled = tensor::spmm(sample.path_pool, x);  // Eq. (4) mean part
     if (config_.use_path_features)
       pooled = tensor::concat_cols({pooled, sample.h});  // Eq. (4) concat part

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "core/telemetry/telemetry.hpp"
+
 namespace gnntrans::rcnet {
 
 namespace {
@@ -83,6 +85,7 @@ std::string to_spef(const RcNet& net) {
 }
 
 SpefParseResult parse_spef(std::istream& in) {
+  const telemetry::TraceSpan span("parse_spef", "io");
   SpefParseResult result;
   enum class Section { kNone, kConn, kCap, kRes };
 
@@ -206,6 +209,14 @@ SpefParseResult parse_spef(std::istream& in) {
   if (!source_set && !result.nets.empty()) {
     // Note: per-net missing-source nets already defaulted to node 0.
   }
+  static telemetry::Counter nets_metric =
+      telemetry::MetricsRegistry::global().counter(
+          "gnntrans_spef_nets_parsed_total", "Nets read from SPEF input");
+  static telemetry::Counter warn_metric =
+      telemetry::MetricsRegistry::global().counter(
+          "gnntrans_spef_warnings_total", "Warnings raised by the SPEF parser");
+  nets_metric.inc(result.nets.size());
+  warn_metric.inc(result.warnings.size());
   return result;
 }
 

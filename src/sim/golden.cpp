@@ -1,9 +1,32 @@
 #include "sim/golden.hpp"
 
+#include "core/telemetry/telemetry.hpp"
+
 namespace gnntrans::sim {
+
+namespace {
+
+/// Golden-timer metrics: how much sign-off simulation work the process has
+/// paid (the cost the learned estimator exists to eliminate).
+struct GoldenMetrics {
+  telemetry::Counter nets = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_golden_nets_timed_total",
+      "Nets timed by the golden transient simulator");
+  telemetry::Counter steps = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_golden_solver_steps_total",
+      "Transient solver steps executed by the golden timer");
+
+  static const GoldenMetrics& get() {
+    static const GoldenMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 TransientResult GoldenTimer::time_net(const rcnet::RcNet& net, double input_slew,
                                       double driver_resistance) {
+  const telemetry::TraceSpan span("golden_time_net", "sim");
   const auto start = std::chrono::steady_clock::now();
   TransientResult result = simulate(net, config_, input_slew, driver_resistance);
   const auto end = std::chrono::steady_clock::now();
@@ -11,6 +34,8 @@ TransientResult GoldenTimer::time_net(const rcnet::RcNet& net, double input_slew
   ++stats_.nets_timed;
   stats_.solver_steps += result.steps_executed;
   stats_.wall_seconds += std::chrono::duration<double>(end - start).count();
+  GoldenMetrics::get().nets.inc();
+  GoldenMetrics::get().steps.inc(result.steps_executed);
   return result;
 }
 

@@ -7,11 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <random>
+#include <span>
+#include <sstream>
 
 #include "cell/library.hpp"
 #include "core/estimator.hpp"
+#include "core/telemetry/telemetry.hpp"
 #include "features/dataset.hpp"
 #include "netlist/generate.hpp"
 #include "netlist/sta.hpp"
@@ -202,6 +206,64 @@ TEST_F(ServingTest, EmptyBatch) {
   EXPECT_TRUE(results.empty());
   EXPECT_EQ(stats.nets, 0u);
   EXPECT_EQ(stats.paths, 0u);
+  // Empty distribution: percentiles are exactly 0, never NaN (the edge case
+  // index-based percentile code used to get wrong).
+  EXPECT_DOUBLE_EQ(stats.p50_net_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99_net_seconds, 0.0);
+  EXPECT_EQ(stats.latency.count(), 0u);
+}
+
+TEST_F(ServingTest, SingleNetBatchHasFinitePercentiles) {
+  const auto batch = items();
+  core::InferenceStats stats;
+  (void)estimator_->estimate_batch(std::span(batch).first(1), {.threads = 1},
+                                   &stats);
+  EXPECT_EQ(stats.nets, 1u);
+  EXPECT_EQ(stats.latency.count(), 1u);
+  EXPECT_TRUE(std::isfinite(stats.p50_net_seconds));
+  EXPECT_TRUE(std::isfinite(stats.p99_net_seconds));
+  EXPECT_GT(stats.p50_net_seconds, 0.0);
+  EXPECT_GE(stats.p99_net_seconds, stats.p50_net_seconds);
+}
+
+TEST_F(ServingTest, EstimateBatchPublishesMetricsAndSpans) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  const telemetry::Counter nets_counter =
+      registry.counter("gnntrans_serving_nets_total");
+  const telemetry::Counter paths_counter =
+      registry.counter("gnntrans_serving_paths_total");
+  const std::uint64_t nets_before = nets_counter.value();
+  const std::uint64_t paths_before = paths_counter.value();
+
+  auto& recorder = telemetry::TraceRecorder::global();
+  recorder.clear();
+  recorder.enable();
+  const auto batch = items();
+  core::InferenceStats stats;
+  const auto results = estimator_->estimate_batch(batch, {.threads = 2}, &stats);
+  recorder.disable();
+
+  // Counters advanced by exactly this batch.
+  EXPECT_EQ(nets_counter.value() - nets_before, batch.size());
+  std::size_t paths = 0;
+  for (const auto& r : results) paths += r.size();
+  EXPECT_EQ(paths_counter.value() - paths_before, paths);
+
+  // Latency histogram series exists and is exported.
+  const std::string prom = registry.prometheus_text();
+  EXPECT_NE(prom.find("gnntrans_serving_nets_total"), std::string::npos);
+  EXPECT_NE(prom.find("gnntrans_serving_net_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gnntrans_serving_arena_peak_bytes"), std::string::npos);
+
+  // Spans for the batch and its per-net stages landed in the recorder.
+  std::ostringstream trace;
+  recorder.write_chrome_json(trace);
+  const std::string json = trace.str();
+  EXPECT_NE(json.find("\"name\":\"estimate_batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"featurize\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"gnn_forward\""), std::string::npos);
+  recorder.clear();
 }
 
 TEST_F(ServingTest, ArenaReusesBuffersAcrossBatches) {

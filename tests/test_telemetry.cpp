@@ -1,0 +1,558 @@
+// Tests for the telemetry subsystem: structured logging (levels, sinks,
+// JSON-lines output), the sharded metrics registry (counters / gauges /
+// histograms, exactness under a ThreadPool hammer, Prometheus and JSON
+// exports), and trace-span recording (Chrome trace JSON well-formedness).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/telemetry/telemetry.hpp"
+#include "core/thread_pool.hpp"
+
+using namespace gnntrans;
+using namespace gnntrans::telemetry;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON well-formedness checker (no values built, just a full parse).
+// Enough of RFC 8259 to validate the trace / metrics / log-line exports.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i)
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])))
+              return false;
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramData
+
+TEST(HistogramData, EmptyQuantilesAreZeroNotNaN) {
+  const HistogramData h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramData, SingleObservationQuantilesAreFinite) {
+  HistogramData h;
+  h.observe(3e-6);
+  EXPECT_EQ(h.count(), 1u);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(v == v) << "NaN at q=" << q;  // NaN != NaN
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 5e-6);  // within the covering 1-2-5 bucket
+  }
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(HistogramData, BucketPlacementUsesLeSemantics) {
+  HistogramData h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // le=1
+  h.observe(1.0);   // exactly on a bound counts in that bucket (le)
+  h.observe(1.5);   // le=2
+  h.observe(4.0);   // le=5
+  h.observe(100.0); // overflow
+  const auto& counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(HistogramData, QuantileInterpolatesAndOverflowReportsLastBound) {
+  HistogramData h({1.0, 2.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5);  // all in the first bucket
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  HistogramData overflow({1.0, 2.0});
+  overflow.observe(50.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 2.0);
+}
+
+TEST(HistogramData, MergeAddsAndSelfMergePreservesQuantiles) {
+  HistogramData a, b;
+  for (int i = 0; i < 32; ++i) a.observe(1e-6 * (i + 1));
+  for (int i = 0; i < 16; ++i) b.observe(5e-4);
+  const double p50_before = a.quantile(0.5);
+  const double p99_before = a.quantile(0.99);
+
+  HistogramData doubled = a;
+  doubled.merge(a);  // doubling every bucket leaves quantiles untouched
+  EXPECT_DOUBLE_EQ(doubled.quantile(0.5), p50_before);
+  EXPECT_DOUBLE_EQ(doubled.quantile(0.99), p99_before);
+  EXPECT_EQ(doubled.count(), 2 * a.count());
+
+  HistogramData pooled = a;
+  pooled.merge(b);
+  EXPECT_EQ(pooled.count(), a.count() + b.count());
+  EXPECT_DOUBLE_EQ(pooled.sum(), a.sum() + b.sum());
+}
+
+TEST(HistogramData, MergeIntoEmptyAdoptsBoundsAndMismatchThrows) {
+  HistogramData custom({1.0, 2.0});
+  custom.observe(1.5);
+  HistogramData empty({7.0});  // never observed: adopts the other's bounds
+  empty.merge(custom);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.bounds(), custom.bounds());
+
+  HistogramData incompatible({42.0});
+  incompatible.observe(1.0);
+  EXPECT_THROW(incompatible.merge(custom), std::invalid_argument);
+}
+
+TEST(HistogramData, DefaultLatencyBoundsAre125Ladder) {
+  const std::vector<double> bounds = HistogramData::default_latency_bounds();
+  ASSERT_GE(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, CounterGaugeBasics) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("requests_total", "Requests");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  Gauge g = registry.gauge("depth");
+  g.set(3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.set_max(2.0);  // lower: no change
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+
+  EXPECT_EQ(registry.metric_count(), 2u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("dup_total");
+  Counter b = registry.counter("dup_total");
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(a.value(), 5u);  // same underlying metric
+  EXPECT_EQ(registry.metric_count(), 1u);
+  EXPECT_THROW((void)registry.gauge("dup_total"), std::invalid_argument);
+  EXPECT_THROW(
+      (void)registry.histogram("dup_total", HistogramData::default_latency_bounds()),
+      std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HistogramHandleObservesAndSnapshots) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("latency_seconds", {1.0, 2.0, 5.0}, "Lat");
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const HistogramData data = h.snapshot();
+  EXPECT_EQ(data.count(), 3u);
+  EXPECT_DOUBLE_EQ(data.sum(), 11.0);
+  ASSERT_EQ(data.bucket_counts().size(), 4u);
+  EXPECT_EQ(data.bucket_counts()[0], 1u);
+  EXPECT_EQ(data.bucket_counts()[1], 1u);
+  EXPECT_EQ(data.bucket_counts()[3], 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlaceAndHandlesStayValid) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("c_total");
+  Histogram h = registry.histogram("h", {1.0});
+  c.inc(7);
+  h.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// The load-bearing concurrency property: per-thread shard cells make
+// concurrent increments contention-free AND exact — totals must match the
+// arithmetic sum, not merely land close.
+TEST(MetricsRegistry, ShardedCountersExactUnderThreadPoolHammer) {
+  MetricsRegistry registry;
+  Counter hits = registry.counter("hammer_hits_total");
+  Histogram lat = registry.histogram("hammer_latency", {1.0, 2.0, 5.0});
+  Gauge peak = registry.gauge("hammer_peak");
+
+  core::ThreadPool pool(8);
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kIncrementsPerTask = 5000;
+  pool.parallel_for(kTasks, [&](std::size_t index, std::size_t) {
+    for (std::size_t i = 0; i < kIncrementsPerTask; ++i) {
+      hits.inc();
+      lat.observe(static_cast<double>(i % 7));
+      peak.set_max(static_cast<double>(index));
+    }
+  });
+
+  EXPECT_EQ(hits.value(), kTasks * kIncrementsPerTask);
+  const HistogramData data = lat.snapshot();
+  EXPECT_EQ(data.count(), kTasks * kIncrementsPerTask);
+  // i%7 in [0,6]: per task 5000 observations summing to sum(0..6)*714 + r.
+  double expected_sum = 0.0;
+  for (std::size_t i = 0; i < kIncrementsPerTask; ++i)
+    expected_sum += static_cast<double>(i % 7);
+  EXPECT_DOUBLE_EQ(data.sum(), expected_sum * kTasks);
+  EXPECT_DOUBLE_EQ(peak.value(), static_cast<double>(kTasks - 1));
+}
+
+TEST(MetricsRegistry, PrometheusExportGolden) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("nets_total", "Nets served");
+  c.inc(3);
+  Gauge g = registry.gauge("pool_threads");
+  g.set(4.0);
+  Histogram h = registry.histogram("lat_seconds", {1.0, 2.0}, "Latency");
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  const std::string expected =
+      "# HELP nets_total Nets served\n"
+      "# TYPE nets_total counter\n"
+      "nets_total 3\n"
+      "# TYPE pool_threads gauge\n"
+      "pool_threads 4\n"
+      "# HELP lat_seconds Latency\n"
+      "# TYPE lat_seconds histogram\n"
+      "lat_seconds_bucket{le=\"1\"} 2\n"
+      "lat_seconds_bucket{le=\"2\"} 3\n"
+      "lat_seconds_bucket{le=\"+Inf\"} 4\n"
+      "lat_seconds_sum 11.5\n"
+      "lat_seconds_count 4\n";
+  EXPECT_EQ(registry.prometheus_text(), expected);
+}
+
+TEST(MetricsRegistry, JsonExportGoldenAndWellFormed) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("nets_total");
+  c.inc(2);
+  Gauge g = registry.gauge("depth");
+  g.set(1.5);
+  Histogram h = registry.histogram("lat", {1.0});
+  h.observe(0.25);
+
+  const std::string json = registry.json_text();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"nets_total\":2},"
+            "\"gauges\":{\"depth\":1.5},"
+            "\"histograms\":{\"lat\":{\"bounds\":[1],\"counts\":[1,0],"
+            "\"sum\":0.25,\"count\":1}}}");
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(MetricsRegistry, ExportSanitizesBadPrometheusNames) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("bad name-with.dots");
+  c.inc();
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("bad_name_with_dots 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+
+TEST(Logger, LevelFilteringAndSinkFanOut) {
+  Logger logger;
+  std::ostringstream first, second;
+  logger.add_sink(std::make_shared<StreamSink>(first));
+  logger.add_sink(std::make_shared<StreamSink>(second));
+  EXPECT_EQ(logger.sink_count(), 2u);
+
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.should_log(LogLevel::kInfo));
+  EXPECT_TRUE(logger.should_log(LogLevel::kWarn));
+  EXPECT_TRUE(logger.should_log(LogLevel::kError));
+
+  logger.logf(LogLevel::kWarn, "spef", "dangling node %s at line %d", "n42", 7);
+  const std::string text = first.str();
+  EXPECT_EQ(text, second.str());  // fan-out: both sinks get the record
+  EXPECT_NE(text.find("warn"), std::string::npos);
+  EXPECT_NE(text.find("[spef]"), std::string::npos);
+  EXPECT_NE(text.find("dangling node n42 at line 7"), std::string::npos);
+
+  logger.clear_sinks();
+  EXPECT_EQ(logger.sink_count(), 0u);
+}
+
+TEST(Logger, JsonLinesSinkEmitsValidJsonPerLine) {
+  Logger logger;
+  std::ostringstream out;
+  logger.add_sink(std::make_shared<JsonLinesSink>(out));
+  logger.set_level(LogLevel::kDebug);
+  logger.log(LogLevel::kInfo, "serving", "batch done");
+  logger.logf(LogLevel::kWarn, "spef", "quote \" backslash \\ newline \n done");
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t line_count = 0;
+  while (std::getline(lines, line)) {
+    ++line_count;
+    EXPECT_TRUE(JsonChecker(line).valid()) << "line " << line_count << ": " << line;
+  }
+  EXPECT_EQ(line_count, 2u);
+  EXPECT_NE(out.str().find("\"component\":\"serving\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"level\":\"warn\""), std::string::npos);
+}
+
+TEST(Logger, ParseLogLevelRoundTrips) {
+  bool ok = false;
+  EXPECT_EQ(parse_log_level("trace", &ok), LogLevel::kTrace);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("debug", &ok), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info", &ok), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn", &ok), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", &ok), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", &ok), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus", &ok), LogLevel::kOff);
+  EXPECT_FALSE(ok);
+  for (const LogLevel level : {LogLevel::kTrace, LogLevel::kDebug,
+                               LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff})
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+}
+
+TEST(Logger, JsonEscapeHandlesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  const std::string escaped = json_escape(std::string("a\x01") + "b");
+  EXPECT_TRUE(JsonChecker("\"" + escaped + "\"").valid());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(Trace, SpansRecordOnlyWhenEnabledAndJsonRoundTrips) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.disable();
+  { const TraceSpan ignored("invisible", "test"); }
+  EXPECT_EQ(recorder.event_count(), 0u);
+
+  recorder.enable();
+  {
+    const TraceSpan outer("outer_span", "test");
+    const TraceSpan inner("inner_span", "test");
+  }
+  recorder.record("manual_span", "test", 100, 250);
+  recorder.disable();
+  EXPECT_EQ(recorder.event_count(), 3u);
+
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"manual_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 3u);
+  // The manual span: 150 ns == 0.150 us.
+  EXPECT_NE(json.find("\"dur\":0.150"), std::string::npos);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(Trace, TransientAndOversizedNamesAreCopiedSafely) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.enable();
+  {
+    // Stack-built transient name (the sta_level_%u / train_epoch_%zu pattern).
+    char name[32];
+    std::snprintf(name, sizeof(name), "sta_level_%d", 7);
+    recorder.record(name, "sta", 0, 10);
+    std::snprintf(name, sizeof(name), "garbage");  // recorder copied already
+  }
+  {
+    const std::string long_name(200, 'x');  // exceeds TraceEvent::name
+    const TraceSpan span(long_name, "test");
+  }
+  recorder.disable();
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"name\":\"sta_level_7\""), std::string::npos);
+  EXPECT_EQ(json.find("garbage"), std::string::npos);
+  recorder.clear();
+}
+
+TEST(Trace, RingWrapCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_ring_capacity(8);
+  recorder.enable();
+  for (int i = 0; i < 20; ++i) recorder.record("spin", "test", i, i + 1);
+  recorder.disable();
+  // This thread's ring existed before set_ring_capacity in earlier tests may
+  // have created it, so only assert the weak invariant: everything recorded
+  // is either retained or counted dropped.
+  EXPECT_GE(recorder.event_count() + recorder.dropped_count(), 20u);
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  EXPECT_TRUE(JsonChecker(out.str()).valid());
+  recorder.clear();
+  recorder.set_ring_capacity(16384);
+}
+
+TEST(Trace, ParallelSpansFromPoolWorkersAllLand) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.enable();
+  core::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  pool.parallel_for(kTasks, [&](std::size_t, std::size_t) {
+    const TraceSpan span("pool_task", "test");
+  });
+  recorder.disable();
+  EXPECT_EQ(recorder.event_count(), kTasks);
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"pool_task\""), kTasks);
+  recorder.clear();
+}
+
+}  // namespace

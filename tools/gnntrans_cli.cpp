@@ -24,12 +24,21 @@
 //       level (identical arrivals for any T). --paths K appends a sign-off
 //       style report of the K worst paths.
 //
+// Telemetry flags (any subcommand; most useful on predict/sta/train):
+//   --log-level L       trace|debug|info|warn|error|off (default info)
+//   --log-json FILE     mirror log records to FILE as JSON lines
+//   --metrics-out FILE  write a metrics snapshot on success; .json extension
+//                       selects JSON, anything else Prometheus text
+//   --trace-out FILE    record TraceSpans and write Chrome trace JSON on
+//                       success (open in chrome://tracing or Perfetto)
+//
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <random>
 #include <sstream>
@@ -38,6 +47,7 @@
 #include "cell/liberty.hpp"
 #include "core/estimator.hpp"
 #include "core/metrics.hpp"
+#include "core/telemetry/telemetry.hpp"
 #include "features/dataset.hpp"
 #include "netlist/generate.hpp"
 #include "netlist/report.hpp"
@@ -67,7 +77,7 @@ class Args {
   [[nodiscard]] std::string require(const std::string& key) const {
     const auto v = get(key);
     if (!v) {
-      std::fprintf(stderr, "error: missing --%s\n", key.c_str());
+      GNNTRANS_LOG_ERROR("cli", "missing --%s", key.c_str());
       std::exit(1);
     }
     return *v;
@@ -88,17 +98,27 @@ class Args {
 std::vector<rcnet::RcNet> load_spef(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    GNNTRANS_LOG_ERROR("spef", "cannot open %s", path.c_str());
     std::exit(2);
   }
   rcnet::SpefParseResult result = rcnet::parse_spef(in);
   for (const std::string& w : result.warnings)
-    std::fprintf(stderr, "warning: %s\n", w.c_str());
+    GNNTRANS_LOG_WARN("spef", "%s", w.c_str());
   if (result.nets.empty()) {
-    std::fprintf(stderr, "error: no nets in %s\n", path.c_str());
+    GNNTRANS_LOG_ERROR("spef", "no nets in %s", path.c_str());
     std::exit(2);
   }
   return result.nets;
+}
+
+/// Opens \p path for writing or exits 2 with a logged error.
+std::ofstream open_output(const std::string& path, const char* component) {
+  std::ofstream out(path);
+  if (!out) {
+    GNNTRANS_LOG_ERROR(component, "cannot open %s for write", path.c_str());
+    std::exit(2);
+  }
+  return out;
 }
 
 /// Deterministic per-net context: seeded by the net name so predict/eval of
@@ -119,8 +139,8 @@ std::vector<features::WireRecord> label_nets(const std::vector<rcnet::RcNet>& ne
     records.push_back(
         features::make_record(net, context_for(library, net), timer));
   }
-  std::fprintf(stderr, "labeled %zu nets with the golden timer (%.2f s)\n",
-               records.size(), timer.stats().wall_seconds);
+  GNNTRANS_LOG_INFO("label", "labeled %zu nets with the golden timer (%.2f s)",
+                    records.size(), timer.stats().wall_seconds);
   return records;
 }
 
@@ -130,7 +150,7 @@ nn::ModelKind arch_from_name(const std::string& name) {
   if (name == "gcnii") return nn::ModelKind::kGcnii;
   if (name == "gat") return nn::ModelKind::kGat;
   if (name == "transformer") return nn::ModelKind::kGraphTransformer;
-  std::fprintf(stderr, "error: unknown --arch '%s'\n", name.c_str());
+  GNNTRANS_LOG_ERROR("cli", "unknown --arch '%s'", name.c_str());
   std::exit(1);
 }
 
@@ -146,7 +166,7 @@ int cmd_generate(const Args& args) {
     nets.push_back(rcnet::generate_net(cfg, rng, "net" + std::to_string(i)));
 
   const std::string path = args.require("spef");
-  std::ofstream out(path);
+  std::ofstream out = open_output(path, "spef");
   out.precision(17);
   rcnet::write_spef(out, nets);
   std::printf("wrote %ld nets to %s\n", count, path.c_str());
@@ -167,13 +187,13 @@ int cmd_design(const Args& args) {
       netlist::generate_design(cfg, library, "cli_design");
 
   {
-    std::ofstream out(args.require("verilog"));
+    std::ofstream out = open_output(args.require("verilog"), "verilog");
     netlist::write_verilog(out, design, library);
   }
   {
     std::vector<rcnet::RcNet> nets;
     for (const netlist::DesignNet& net : design.nets) nets.push_back(net.rc);
-    std::ofstream out(args.require("spef"));
+    std::ofstream out = open_output(args.require("spef"), "spef");
     out.precision(17);
     rcnet::write_spef(out, nets);
   }
@@ -185,7 +205,7 @@ int cmd_design(const Args& args) {
 
 int cmd_libgen(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
-  std::ofstream out(args.require("liberty"));
+  std::ofstream out = open_output(args.require("liberty"), "liberty");
   cell::write_liberty(out, library);
   std::printf("wrote %zu cells\n", library.size());
   return 0;
@@ -203,7 +223,7 @@ int cmd_train(const Args& args) {
   opt.model.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   opt.train.epochs = static_cast<std::size_t>(args.get_long("epochs", 30));
   opt.train.on_epoch = [](std::size_t epoch, double loss) {
-    std::fprintf(stderr, "epoch %zu loss %.5f\n", epoch, loss);
+    GNNTRANS_LOG_INFO("train", "epoch %zu loss %.5f", epoch, loss);
   };
   const auto estimator = core::WireTimingEstimator::train(records, opt);
   estimator.save_file(args.require("model"));
@@ -272,28 +292,29 @@ int cmd_predict(const Args& args) {
         std::printf("%-16s %-6u %12.2f %12.2f\n", valid[begin + i]->name.c_str(),
                     pe.sink, pe.delay * 1e12, pe.slew * 1e12);
   }
-  std::fprintf(stderr, "serving: %s\n", total.summary().c_str());
+  GNNTRANS_LOG_INFO("serving", "%s", total.summary().c_str());
   return 0;
 }
 
 int cmd_sta(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
-  std::ifstream vin(args.require("verilog"));
+  const std::string verilog_path = args.require("verilog");
+  std::ifstream vin(verilog_path);
   if (!vin) {
-    std::fprintf(stderr, "error: cannot open verilog input\n");
+    GNNTRANS_LOG_ERROR("verilog", "cannot open %s", verilog_path.c_str());
     return 2;
   }
   netlist::VerilogParseResult parsed = netlist::parse_verilog(vin, library);
   for (const std::string& w : parsed.warnings)
-    std::fprintf(stderr, "warning: %s\n", w.c_str());
+    GNNTRANS_LOG_WARN("verilog", "%s", w.c_str());
 
   const auto spef_nets = load_spef(args.require("spef"));
   std::vector<std::string> warnings;
   netlist::attach_spef(parsed.design, spef_nets, &warnings);
   for (const std::string& w : warnings)
-    std::fprintf(stderr, "warning: %s\n", w.c_str());
+    GNNTRANS_LOG_WARN("sta", "%s", w.c_str());
   if (const auto errors = parsed.design.validate(); !errors.empty()) {
-    std::fprintf(stderr, "error: design invalid: %s\n", errors.front().c_str());
+    GNNTRANS_LOG_ERROR("sta", "design invalid: %s", errors.front().c_str());
     return 2;
   }
 
@@ -308,7 +329,7 @@ int cmd_sta(const Args& args) {
                                      threads);
     sta = netlist::run_sta(parsed.design, library, source);
     source_name = source.name();
-    std::fprintf(stderr, "serving: %s\n", source.stats().summary().c_str());
+    GNNTRANS_LOG_INFO("serving", "%s", source.stats().summary().c_str());
   } else {
     netlist::GoldenWireSource source{sim::TransientConfig{}};
     sta = netlist::run_sta(parsed.design, library, source);
@@ -335,8 +356,70 @@ int cmd_sta(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: gnntrans_cli <generate|design|libgen|train|eval|predict|sta> "
-               "[--flag value ...]\n(see the header comment of "
+               "[--flag value ...]\n"
+               "telemetry flags (any command): --log-level "
+               "<trace|debug|info|warn|error|off> --log-json FILE "
+               "--metrics-out FILE --trace-out FILE\n"
+               "(see the header comment of "
                "tools/gnntrans_cli.cpp for per-command flags)\n");
+}
+
+/// Applies --log-level / --log-json / --trace-out before command dispatch.
+/// Exits 1 on an unknown level name, 2 on an unwritable log file.
+void setup_telemetry(const Args& args) {
+  if (const auto level_name = args.get("log-level")) {
+    bool ok = false;
+    const telemetry::LogLevel level = telemetry::parse_log_level(*level_name, &ok);
+    if (!ok) {
+      GNNTRANS_LOG_ERROR("cli", "unknown --log-level '%s'", level_name->c_str());
+      std::exit(1);
+    }
+    telemetry::Logger::global().set_level(level);
+  }
+  if (const auto log_json = args.get("log-json")) {
+    try {
+      telemetry::Logger::global().add_sink(
+          std::make_shared<telemetry::JsonLinesSink>(*log_json));
+    } catch (const std::exception& e) {
+      GNNTRANS_LOG_ERROR("cli", "%s", e.what());
+      std::exit(2);
+    }
+  }
+  if (args.get("trace-out")) telemetry::TraceRecorder::global().enable();
+}
+
+/// Writes --metrics-out / --trace-out files after a successful command.
+/// Returns 2 if an output file cannot be written, 0 otherwise.
+int flush_telemetry(const Args& args) {
+  int rc = 0;
+  if (const auto metrics_path = args.get("metrics-out")) {
+    std::ofstream out(*metrics_path);
+    if (!out) {
+      GNNTRANS_LOG_ERROR("cli", "cannot open %s for write", metrics_path->c_str());
+      rc = 2;
+    } else {
+      const auto& registry = telemetry::MetricsRegistry::global();
+      const bool json = metrics_path->size() >= 5 &&
+                        metrics_path->compare(metrics_path->size() - 5, 5,
+                                              ".json") == 0;
+      out << (json ? registry.json_text() : registry.prometheus_text());
+      GNNTRANS_LOG_DEBUG("cli", "wrote metrics snapshot to %s",
+                         metrics_path->c_str());
+    }
+  }
+  if (const auto trace_path = args.get("trace-out")) {
+    std::ofstream out(*trace_path);
+    if (!out) {
+      GNNTRANS_LOG_ERROR("cli", "cannot open %s for write", trace_path->c_str());
+      rc = 2;
+    } else {
+      telemetry::TraceRecorder::global().write_chrome_json(out);
+      GNNTRANS_LOG_DEBUG("cli", "wrote %zu trace events to %s",
+                         telemetry::TraceRecorder::global().event_count(),
+                         trace_path->c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -348,18 +431,27 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Args args(argc, argv);
+  setup_telemetry(args);
+  int rc = -1;
   try {
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "design") return cmd_design(args);
-    if (cmd == "libgen") return cmd_libgen(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "eval") return cmd_eval(args);
-    if (cmd == "predict") return cmd_predict(args);
-    if (cmd == "sta") return cmd_sta(args);
+    if (cmd == "generate") rc = cmd_generate(args);
+    else if (cmd == "design") rc = cmd_design(args);
+    else if (cmd == "libgen") rc = cmd_libgen(args);
+    else if (cmd == "train") rc = cmd_train(args);
+    else if (cmd == "eval") rc = cmd_eval(args);
+    else if (cmd == "predict") rc = cmd_predict(args);
+    else if (cmd == "sta") rc = cmd_sta(args);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    GNNTRANS_LOG_ERROR("cli", "%s", e.what());
     return 2;
   }
-  usage();
-  return 1;
+  if (rc < 0) {
+    usage();
+    return 1;
+  }
+  if (rc == 0) {
+    if (const int telemetry_rc = flush_telemetry(args); telemetry_rc != 0)
+      return telemetry_rc;
+  }
+  return rc;
 }
