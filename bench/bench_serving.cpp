@@ -18,6 +18,7 @@
 
 #include "cell/library.hpp"
 #include "core/estimator.hpp"
+#include "core/fault_injector.hpp"
 #include "core/telemetry/telemetry.hpp"
 #include "features/dataset.hpp"
 #include "rcnet/generate.hpp"
@@ -169,6 +170,54 @@ int main() {
                 rate_off, rate_on, 100.0 * (on_secs - off_secs) / off_secs,
                 recorder.event_count());
     recorder.clear();
+  }
+
+  // Fault-tolerance overhead: the degradation ladder costs two branches and a
+  // validate() per net when nothing fails. The contrast below is injection
+  // disarmed (the production configuration) vs 1% of (site, net) decisions
+  // injected, where each degraded net additionally pays the analytic
+  // baseline. The disarmed delta vs the table above is the robustness tax.
+  std::printf("\n=== Fault-tolerance overhead: estimate_batch, T=1 ===\n\n");
+  {
+    core::BatchOptions options;
+    options.threads = 1;
+    std::vector<nn::Workspace> workspaces;
+    options.workspaces = &workspaces;
+    auto timed_passes = [&](int passes, core::InferenceStats* total) {
+      const auto t0 = Clock::now();
+      for (int p = 0; p < passes; ++p) {
+        core::InferenceStats stats;
+        (void)estimator.estimate_batch(set.items, options, &stats);
+        if (total) total->merge(stats);
+      }
+      return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    constexpr int kPasses = 3;
+    auto& injector = core::FaultInjector::global();
+    injector.disarm();
+    (void)timed_passes(1, nullptr);  // warm-up
+    core::InferenceStats off_stats;
+    const double off_secs = timed_passes(kPasses, &off_stats);
+
+    core::FaultInjector::Config cfg;
+    cfg.probability = 0.01;
+    cfg.seed = 42;
+    injector.configure(cfg);
+    core::InferenceStats on_stats;
+    const double on_secs = timed_passes(kPasses, &on_stats);
+    injector.disarm();
+
+    const double rate_off = static_cast<double>(kNets * kPasses) / off_secs;
+    const double rate_on = static_cast<double>(kNets * kPasses) / on_secs;
+    std::printf("injection off: %.0f nets/s (%zu degraded)\n", rate_off,
+                off_stats.fallback_nets + off_stats.failed_nets);
+    std::printf("injection 1%%:  %.0f nets/s (%zu degraded, %.2f%% of nets, "
+                "%zu triggers) — overhead %.2f%%\n",
+                rate_on, on_stats.fallback_nets + on_stats.failed_nets,
+                100.0 * on_stats.degraded_fraction(),
+                injector.injected_total(),
+                100.0 * (on_secs - off_secs) / off_secs);
+    std::printf("injected summary: %s\n", on_stats.summary().c_str());
   }
 
   // Metrics snapshot: everything the run above published to the global

@@ -66,7 +66,14 @@ enum class TokenKind { kIdent, kString, kSymbol, kEnd };
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;
+  std::size_t line = 1;  ///< 1-based source line the token starts on
 };
+
+/// Formats a line-numbered parse error ("liberty: line 12: ...").
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("liberty: line " + std::to_string(line) + ": " +
+                           what);
+}
 
 class Lexer {
  public:
@@ -78,7 +85,8 @@ class Lexer {
 
   Token next() {
     skip_space_and_comments();
-    if (pos_ >= text_.size()) return {TokenKind::kEnd, ""};
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, "", line_};
+    const std::size_t line = line_;
     const char c = text_[pos_];
     if (c == '"') {
       ++pos_;
@@ -86,36 +94,45 @@ class Lexer {
       while (pos_ < text_.size() && text_[pos_] != '"') {
         // Liberty line continuations inside strings: swallow backslash-newline.
         if (text_[pos_] == '\\') {
-          ++pos_;
+          take();
           continue;
         }
-        value.push_back(text_[pos_++]);
+        value.push_back(take());
       }
-      if (pos_ >= text_.size()) throw std::runtime_error("liberty: unterminated string");
+      if (pos_ >= text_.size()) parse_error(line, "unterminated string");
       ++pos_;
-      return {TokenKind::kString, std::move(value)};
+      return {TokenKind::kString, std::move(value), line};
     }
     if (std::strchr("{}():;,", c) != nullptr) {
       ++pos_;
-      return {TokenKind::kSymbol, std::string(1, c)};
+      return {TokenKind::kSymbol, std::string(1, c), line};
     }
     std::string ident;
     while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
            std::strchr("{}():;,\"", text_[pos_]) == nullptr)
       ident.push_back(text_[pos_++]);
-    if (ident.empty()) throw std::runtime_error("liberty: stray character");
-    return {TokenKind::kIdent, std::move(ident)};
+    if (ident.empty())
+      parse_error(line, std::string("stray character '") + c + "'");
+    return {TokenKind::kIdent, std::move(ident), line};
   }
 
  private:
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
   void skip_space_and_comments() {
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
       if (std::isspace(static_cast<unsigned char>(c)) || c == '\\') {
-        ++pos_;
+        take();
       } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
         const std::size_t end = text_.find("*/", pos_ + 2);
-        if (end == std::string::npos) throw std::runtime_error("liberty: open comment");
+        if (end == std::string::npos)
+          parse_error(line_, "unterminated /* comment");
+        while (pos_ < end) take();
         pos_ = end + 2;
       } else {
         break;
@@ -125,6 +142,7 @@ class Lexer {
 
   std::string text_;
   std::size_t pos_ = 0;
+  std::size_t line_ = 1;
 };
 
 // ---- Generic group tree ----
@@ -150,7 +168,7 @@ class Parser {
   /// Parses the top-level `library (...) { ... }` group.
   std::unique_ptr<Group> parse_top() {
     auto group = parse_group();
-    if (!group) throw std::runtime_error("liberty: no top-level group");
+    if (!group) parse_error(current_.line, "no top-level group");
     return group;
   }
 
@@ -167,8 +185,11 @@ class Parser {
 
   void expect_symbol(const char* s) {
     if (!accept_symbol(s))
-      throw std::runtime_error("liberty: expected '" + std::string(s) + "' got '" +
-                               current_.text + "'");
+      parse_error(current_.line,
+                  "expected '" + std::string(s) + "' got '" +
+                      (current_.kind == TokenKind::kEnd ? "<eof>"
+                                                        : current_.text) +
+                      "'");
   }
 
   /// Parses either a group or an attribute starting at an identifier.
@@ -197,7 +218,8 @@ class Parser {
     std::vector<std::string> args;
     while (!(current_.kind == TokenKind::kSymbol && current_.text == ")")) {
       if (current_.kind == TokenKind::kEnd)
-        throw std::runtime_error("liberty: unterminated argument list");
+        parse_error(current_.line,
+                    "unterminated argument list of '" + name + "'");
       if (!(current_.kind == TokenKind::kSymbol && current_.text == ","))
         args.push_back(current_.text);
       advance();
@@ -219,9 +241,13 @@ class Parser {
     group->args = std::move(args);
     while (!(current_.kind == TokenKind::kSymbol && current_.text == "}")) {
       if (current_.kind == TokenKind::kEnd)
-        throw std::runtime_error("liberty: unterminated group '" + name + "'");
+        parse_error(current_.line,
+                    "unterminated group '" + name + "' (missing '}')");
       auto child = parse_group();
-      if (!child) throw std::runtime_error("liberty: unexpected token '" + current_.text + "'");
+      if (!child)
+        parse_error(current_.line,
+                    "unexpected token '" + current_.text + "' in group '" +
+                        name + "'");
       if (child->name == "__attr__") {
         group->attributes[child->args[0]] = child->args[1];
       } else if (child->name == "__list__") {

@@ -7,7 +7,10 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/fault_injector.hpp"
 #include "core/telemetry/telemetry.hpp"
+#include "nn/guard.hpp"
+#include "sim/wire_analysis.hpp"
 #include "tensor/serialize.hpp"
 
 namespace gnntrans::core {
@@ -42,12 +45,76 @@ struct ServingMetrics {
       "Max per-worker scratch-arena high-water mark");
   telemetry::Gauge pool_threads = telemetry::MetricsRegistry::global().gauge(
       "gnntrans_serving_pool_threads", "Workers used by the last batch");
+  telemetry::Counter fallback_nets = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_fallback_total",
+      "Nets degraded to the analytic baseline");
+  telemetry::Counter failed_nets = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_failed_total",
+      "Nets that produced no usable estimate (zeroed outputs)");
+  telemetry::Counter slow_nets = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_slow_nets_total",
+      "Nets exceeding the slow-query latency budget");
+  /// Degraded nets by failure reason, indexed by ErrorCode.
+  std::array<telemetry::Counter, kErrorCodeCount> degraded_reason =
+      make_reason_counters();
+
+  static std::array<telemetry::Counter, kErrorCodeCount> make_reason_counters() {
+    std::array<telemetry::Counter, kErrorCodeCount> out;
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c)
+      out[c] = telemetry::MetricsRegistry::global().counter(
+          std::string("gnntrans_serving_degraded_") +
+              to_string(static_cast<ErrorCode>(c)) + "_total",
+          "Nets degraded with this failure reason");
+    return out;
+  }
 
   static const ServingMetrics& get() {
     static const ServingMetrics metrics;
     return metrics;
   }
 };
+
+/// Analytic degradation target: per-path Elmore-family estimates from the
+/// same moment engine that feeds Table I features. Delay is the D2M metric at
+/// the sink (exact-moment based, defined on non-tree nets); slew combines the
+/// input slew with the impulse-response spread sqrt(2*m2 - m1^2) scaled by
+/// ln(9) (the 20/80 width of a one-pole response), the classical two-moment
+/// slew metric. Precondition: net.validate() is empty.
+std::vector<PathEstimate> analytic_fallback(const rcnet::RcNet& net,
+                                            const features::NetContext& context) {
+  constexpr double kLn9 = 2.1972245773362196;  // ln(9): 20/80 of one pole
+  const sim::WireAnalysis analysis = sim::analyze_wire(net);
+  std::vector<PathEstimate> out;
+  out.reserve(analysis.paths.size());
+  for (const rcnet::WirePath& path : analysis.paths) {
+    const rcnet::NodeId sink = path.sink;
+    const double m1 = analysis.moments.m1[sink];
+    const double m2 = analysis.moments.m2[sink];
+    const double spread = std::sqrt(std::max(0.0, 2.0 * m2 - m1 * m1));
+    PathEstimate pe;
+    pe.sink = sink;
+    pe.delay = std::max(0.0, analysis.d2m[sink]);
+    pe.slew = std::sqrt(context.input_slew * context.input_slew +
+                        kLn9 * kLn9 * spread * spread);
+    pe.provenance = EstimateProvenance::kBaselineFallback;
+    out.push_back(pe);
+  }
+  return out;
+}
+
+/// Ladder bottom: one zeroed estimate per sink so callers still get a full
+/// result vector (sinks in net order, like the model path).
+std::vector<PathEstimate> failed_estimates(const rcnet::RcNet& net) {
+  std::vector<PathEstimate> out;
+  out.reserve(net.sinks.size());
+  for (const rcnet::NodeId sink : net.sinks) {
+    PathEstimate pe;
+    pe.sink = sink;
+    pe.provenance = EstimateProvenance::kFailed;
+    out.push_back(pe);
+  }
+  return out;
+}
 
 std::string human_bytes(std::size_t bytes) {
   char buf[32];
@@ -75,6 +142,12 @@ void InferenceStats::merge(const InferenceStats& other) {
   arena_peak_bytes = std::max(arena_peak_bytes, other.arena_peak_bytes);
   arena_reused_buffers += other.arena_reused_buffers;
   arena_fresh_allocs += other.arena_fresh_allocs;
+  model_nets += other.model_nets;
+  fallback_nets += other.fallback_nets;
+  failed_nets += other.failed_nets;
+  slow_nets += other.slow_nets;
+  for (std::size_t c = 0; c < kErrorCodeCount; ++c)
+    degraded_by_reason[c] += other.degraded_by_reason[c];
 }
 
 std::string InferenceStats::summary() const {
@@ -93,7 +166,25 @@ std::string InferenceStats::summary() const {
                 threads == 1 ? "" : "s", p50_net_seconds * 1e6,
                 p99_net_seconds * 1e6, human_bytes(arena_peak_bytes).c_str(),
                 reuse_pct);
-  return buf;
+  std::string out = buf;
+  if (fallback_nets + failed_nets + slow_nets > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "; degraded %zu (%.2f%%: %zu baseline, %zu failed), %zu slow",
+                  fallback_nets + failed_nets, 100.0 * degraded_fraction(),
+                  fallback_nets, failed_nets, slow_nets);
+    out += buf;
+    bool first = true;
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+      if (degraded_by_reason[c] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "%s%s=%zu", first ? " [" : ", ",
+                    to_string(static_cast<ErrorCode>(c)),
+                    degraded_by_reason[c]);
+      out += buf;
+      first = false;
+    }
+    if (!first) out += "]";
+  }
+  return out;
 }
 
 WireTimingEstimator WireTimingEstimator::train(
@@ -114,30 +205,71 @@ WireTimingEstimator WireTimingEstimator::train(
   return est;
 }
 
-std::vector<PathEstimate> WireTimingEstimator::estimate_one(
+Expected<std::vector<PathEstimate>> WireTimingEstimator::run_model_path(
     const rcnet::RcNet& net, const features::NetContext& context,
-    nn::Workspace* workspace) const {
+    nn::Workspace* workspace, StageSeconds* stages) const {
   tensor::NoGradGuard no_grad;
+  FaultInjector& inject = FaultInjector::global();
 
-  // Build an unlabeled record: features only, labels zero.
+  // Build an unlabeled record: features only, labels zero. Any exception in
+  // path enumeration / feature extraction is a per-net failure, not a batch
+  // abort.
   features::WireRecord rec;
   rec.net = net;
   rec.context = context;
   {
+    const auto t0 = Clock::now();
     const telemetry::TraceSpan span("featurize", "serving");
-    rec.raw = features::extract_features(net, context);
+    try {
+      if (inject.armed() && inject.should_fail(FaultSite::kFeaturize, net.name))
+        throw std::runtime_error("injected featurization fault");
+      rec.raw = features::extract_features(net, context);
+    } catch (const std::invalid_argument& e) {
+      // Caller contract violation (e.g. context.loads misaligned), not a
+      // path-extraction fault.
+      if (stages) stages->featurize += seconds_since(t0);
+      return Status(ErrorCode::kInvalidNet, net.name + ": " + e.what());
+    } catch (const std::exception& e) {
+      if (stages) stages->featurize += seconds_since(t0);
+      return Status(ErrorCode::kPathExtractionFailed,
+                    net.name + ": " + e.what());
+    }
+    if (stages) stages->featurize += seconds_since(t0);
   }
+  if (rec.raw.analysis.paths.size() != net.sinks.size())
+    return Status(ErrorCode::kPathExtractionFailed,
+                  net.name + ": enumerated " +
+                      std::to_string(rec.raw.analysis.paths.size()) +
+                      " paths for " + std::to_string(net.sinks.size()) +
+                      " sinks");
   rec.non_tree = !net.is_tree();
   rec.slew_labels.assign(rec.raw.analysis.paths.size(), 0.0);
   rec.delay_labels.assign(rec.raw.analysis.paths.size(), 0.0);
 
-  const nn::GraphSample sample = standardizer_.make_sample(rec);
-  const telemetry::TraceSpan forward_span("forward", "serving");
-  const nn::WirePrediction pred = model_->forward(sample, workspace);
+  const auto t0 = Clock::now();
+  nn::WirePrediction pred;
+  std::size_t path_count = 0;
+  try {
+    const nn::GraphSample sample = standardizer_.make_sample(rec);
+    path_count = sample.path_count;
+    const telemetry::TraceSpan forward_span("forward", "serving");
+    if (inject.armed() && inject.should_fail(FaultSite::kForward, net.name))
+      throw std::runtime_error("injected forward fault");
+    pred = model_->forward(sample, workspace);
+    if (inject.armed() && inject.should_fail(FaultSite::kNonFinite, net.name))
+      throw nn::NonFiniteActivationError("injected", 0, 0);
+  } catch (const nn::NonFiniteActivationError& e) {
+    if (stages) stages->forward += seconds_since(t0);
+    return Status(ErrorCode::kNonFiniteActivation, net.name + ": " + e.what());
+  } catch (const std::exception& e) {
+    if (stages) stages->forward += seconds_since(t0);
+    return Status(ErrorCode::kInternal, net.name + ": " + e.what());
+  }
+  if (stages) stages->forward += seconds_since(t0);
 
   std::vector<PathEstimate> out;
-  out.reserve(sample.path_count);
-  for (std::size_t q = 0; q < sample.path_count; ++q) {
+  out.reserve(path_count);
+  for (std::size_t q = 0; q < path_count; ++q) {
     PathEstimate pe;
     pe.sink = rec.raw.analysis.paths[q].sink;
     pe.slew = standardizer_.unstandardize_slew(pred.slew(q, 0));
@@ -149,7 +281,16 @@ std::vector<PathEstimate> WireTimingEstimator::estimate_one(
 
 std::vector<PathEstimate> WireTimingEstimator::estimate(
     const rcnet::RcNet& net, const features::NetContext& context) const {
-  return estimate_one(net, context, nullptr);
+  if (const auto errors = net.validate(); !errors.empty())
+    throw std::invalid_argument("estimate: invalid net '" + net.name +
+                                "': " + errors.front());
+  auto result = run_model_path(net, context, nullptr, nullptr);
+  if (!result) {
+    if (result.status().code() == ErrorCode::kInvalidNet)
+      throw std::invalid_argument("estimate: " + result.status().to_string());
+    throw std::runtime_error("estimate: " + result.status().to_string());
+  }
+  return std::move(*result);
 }
 
 std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
@@ -180,16 +321,104 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
   std::vector<tensor::ScratchArena::Stats> before(threads);
   for (std::size_t w = 0; w < threads; ++w) before[w] = workspaces[w].arena_stats();
 
+  std::vector<NetOutcome> outcomes(items.size());
+
   const auto run_one = [&](std::size_t i, std::size_t worker) {
     const auto t0 = Clock::now();
-    results[i] =
-        estimate_one(*items[i].net, *items[i].context, &workspaces[worker]);
+    const rcnet::RcNet& net = *items[i].net;
+    const features::NetContext& context = *items[i].context;
+    NetOutcome& outcome = outcomes[i];
+    FaultInjector& inject = FaultInjector::global();
+    StageSeconds stages;
+
+    // Structural validity decides fallback eligibility below: the analytic
+    // baseline needs a well-formed net just like the model does, so an
+    // *injected* validation fault on a valid net still degrades gracefully.
+    const std::vector<std::string> errors = net.validate();
+    const bool structurally_valid = errors.empty();
+
+    // Degradation ladder: the first rung that drops records why. Fault sites
+    // are consulted in ladder order with short-circuiting, so a degraded net
+    // consumes exactly one injection trigger (counter exactness in tests).
+    Status failure;
+    if ((options.deadline_seconds > 0.0 &&
+         seconds_since(start) > options.deadline_seconds) ||
+        (inject.armed() &&
+         inject.should_fail(FaultSite::kDeadline, net.name))) {
+      failure = Status(ErrorCode::kDeadlineExceeded,
+                       net.name + ": started past the batch deadline");
+    } else if (!structurally_valid) {
+      failure = Status(ErrorCode::kInvalidNet, net.name + ": " + errors.front());
+    } else if (inject.armed() &&
+               inject.should_fail(FaultSite::kValidate, net.name)) {
+      failure = Status(ErrorCode::kInvalidNet,
+                       net.name + ": injected validation fault");
+    }
+
+    if (failure.ok()) {
+      auto model_result =
+          run_model_path(net, context, &workspaces[worker], &stages);
+      if (model_result) {
+        results[i] = std::move(*model_result);
+        outcome.provenance = EstimateProvenance::kModel;
+      } else {
+        failure = model_result.status();
+      }
+    }
+
+    if (!failure.ok()) {
+      outcome.error = failure.code();
+      outcome.message = failure.message();
+      bool fell_back = false;
+      if (options.fallback == FallbackPolicy::kAnalytic && structurally_valid) {
+        const auto fb0 = Clock::now();
+        try {
+          results[i] = analytic_fallback(net, context);
+          fell_back = true;
+        } catch (const std::exception& e) {
+          outcome.message += "; fallback: ";
+          outcome.message += e.what();
+        }
+        stages.fallback += seconds_since(fb0);
+      }
+      if (!fell_back) results[i] = failed_estimates(net);
+      outcome.provenance = fell_back ? EstimateProvenance::kBaselineFallback
+                                     : EstimateProvenance::kFailed;
+    }
+
     latency[i] = seconds_since(t0);
+    if (options.slow_net_warn_seconds > 0.0 &&
+        latency[i] > options.slow_net_warn_seconds) {
+      outcome.slow = true;
+      GNNTRANS_LOG_WARN(
+          "serving",
+          "slow net '%s': %.1f us total (budget %.1f us) — featurize %.1f us, "
+          "forward %.1f us, fallback %.1f us [%s]",
+          net.name.c_str(), latency[i] * 1e6,
+          options.slow_net_warn_seconds * 1e6, stages.featurize * 1e6,
+          stages.forward * 1e6, stages.fallback * 1e6,
+          to_string(outcome.provenance));
+    }
   };
   if (threads == 1) {
     for (std::size_t i = 0; i < items.size(); ++i) run_one(i, 0);
   } else {
     pool->parallel_for(items.size(), run_one);
+  }
+
+  // Ladder tallies (single-threaded epilogue; outcomes are per-net slots).
+  std::size_t model_nets = 0, fallback_nets = 0, failed_nets = 0,
+              slow_nets = 0;
+  std::array<std::size_t, kErrorCodeCount> degraded_by_reason{};
+  for (const NetOutcome& o : outcomes) {
+    switch (o.provenance) {
+      case EstimateProvenance::kModel: ++model_nets; break;
+      case EstimateProvenance::kBaselineFallback: ++fallback_nets; break;
+      case EstimateProvenance::kFailed: ++failed_nets; break;
+    }
+    if (o.provenance != EstimateProvenance::kModel)
+      ++degraded_by_reason[static_cast<std::size_t>(o.error)];
+    if (o.slow) ++slow_nets;
   }
 
   const double wall = seconds_since(start);
@@ -208,6 +437,12 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
   metrics.batch_latency.observe(wall);
   metrics.arena_peak.set_max(static_cast<double>(peak_bytes));
   metrics.pool_threads.set(static_cast<double>(threads));
+  if (fallback_nets > 0) metrics.fallback_nets.inc(fallback_nets);
+  if (failed_nets > 0) metrics.failed_nets.inc(failed_nets);
+  if (slow_nets > 0) metrics.slow_nets.inc(slow_nets);
+  for (std::size_t c = 0; c < kErrorCodeCount; ++c)
+    if (degraded_by_reason[c] > 0)
+      metrics.degraded_reason[c].inc(degraded_by_reason[c]);
 
   if (stats) {
     *stats = InferenceStats{};
@@ -228,7 +463,13 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
       stats->arena_reused_buffers += after.reused - before[w].reused;
       stats->arena_fresh_allocs += after.allocated - before[w].allocated;
     }
+    stats->model_nets = model_nets;
+    stats->fallback_nets = fallback_nets;
+    stats->failed_nets = failed_nets;
+    stats->slow_nets = slow_nets;
+    stats->degraded_by_reason = degraded_by_reason;
   }
+  if (options.outcomes) *options.outcomes = std::move(outcomes);
   return results;
 }
 
@@ -352,10 +593,11 @@ std::vector<std::vector<sim::SinkTiming>> EstimatorWireSource::time_nets(
   }
 
   if (threads_ > 1 && !pool_) pool_ = std::make_unique<ThreadPool>(threads_);
-  BatchOptions options;
+  BatchOptions options = serving_options_;  // degradation/deadline/slow-log
   options.threads = threads_;
   options.pool = pool_.get();
   options.workspaces = &workspaces_;
+  options.outcomes = nullptr;
 
   InferenceStats batch_stats;
   const std::vector<std::vector<PathEstimate>> estimates =

@@ -14,12 +14,22 @@
 /// are bitwise-identical for any thread count. InferenceStats reports
 /// throughput, per-net latency percentiles, and arena high-water marks.
 ///
+/// Fault isolation: each net of a batch succeeds, degrades, or fails on its
+/// own — a malformed net, a NaN escaping the forward pass, or an exception on
+/// a worker never aborts the call. The degradation ladder is
+///   model -> analytic baseline (Elmore/D2M) -> typed failure,
+/// and every PathEstimate carries its provenance. Per-net outcomes, per-reason
+/// fallback counters, a configurable batch deadline, and a slow-query WARN log
+/// make degradations observable; core::FaultInjector drives every error branch
+/// deterministically in tests.
+///
 /// EstimatorWireSource adapts a trained estimator to the STA engine, enabling
 /// the paper's Table V flow (gate NLDM + learned wire timing); it implements
 /// the batched WireTimingSource::time_nets hook, so full-design STA amortizes
 /// inference across every net of a topological level.
 #pragma once
 
+#include <array>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -27,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/status.hpp"
 #include "core/telemetry/metrics.hpp"
 #include "core/thread_pool.hpp"
 #include "core/trainer.hpp"
@@ -36,11 +47,37 @@
 
 namespace gnntrans::core {
 
+/// Which rung of the degradation ladder produced an estimate.
+enum class EstimateProvenance : std::uint8_t {
+  kModel = 0,             ///< learned model forward pass
+  kBaselineFallback = 1,  ///< analytic Elmore/D2M baseline after a model fault
+  kFailed = 2,            ///< no estimator applicable; values are zero
+};
+
+[[nodiscard]] constexpr const char* to_string(EstimateProvenance p) noexcept {
+  switch (p) {
+    case EstimateProvenance::kModel: return "model";
+    case EstimateProvenance::kBaselineFallback: return "baseline_fallback";
+    case EstimateProvenance::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 /// Per-path estimate in seconds.
 struct PathEstimate {
   rcnet::NodeId sink = 0;
   double slew = 0.0;
   double delay = 0.0;
+  EstimateProvenance provenance = EstimateProvenance::kModel;
+};
+
+/// Per-net serving outcome (filled when BatchOptions::outcomes is set).
+struct NetOutcome {
+  EstimateProvenance provenance = EstimateProvenance::kModel;
+  /// kOk when the model served the net; otherwise why it degraded/failed.
+  ErrorCode error = ErrorCode::kOk;
+  std::string message;
+  bool slow = false;  ///< exceeded BatchOptions::slow_net_warn_seconds
 };
 
 /// Observability counters for batched inference. Per-net wall latencies are
@@ -62,6 +99,21 @@ struct InferenceStats {
   std::size_t arena_reused_buffers = 0;  ///< acquisitions served by the arenas
   std::size_t arena_fresh_allocs = 0;    ///< acquisitions that hit the heap
 
+  // Degradation ladder counters (nets, not paths).
+  std::size_t model_nets = 0;     ///< served by the learned model
+  std::size_t fallback_nets = 0;  ///< degraded to the analytic baseline
+  std::size_t failed_nets = 0;    ///< no estimate possible (zeroed outputs)
+  std::size_t slow_nets = 0;      ///< exceeded the slow-query latency budget
+  /// Degraded (fallback or failed) nets by ErrorCode index.
+  std::array<std::size_t, kErrorCodeCount> degraded_by_reason{};
+
+  /// fallback_nets + failed_nets as a fraction of nets (0 on empty).
+  [[nodiscard]] double degraded_fraction() const noexcept {
+    return nets == 0 ? 0.0
+                     : static_cast<double>(fallback_nets + failed_nets) /
+                           static_cast<double>(nets);
+  }
+
   void merge(const InferenceStats& other);
   [[nodiscard]] std::string summary() const;
 };
@@ -71,6 +123,16 @@ struct InferenceStats {
 struct NetBatchItem {
   const rcnet::RcNet* net = nullptr;
   const features::NetContext* context = nullptr;
+};
+
+/// What to do when the model path fails on a net.
+enum class FallbackPolicy : std::uint8_t {
+  /// Degrade to the analytic Elmore/D2M baseline (default). Structurally
+  /// invalid nets still fail (the analytic pass needs a valid net too).
+  kAnalytic = 0,
+  /// No degradation: failed nets return zeroed per-sink estimates with
+  /// provenance kFailed.
+  kNone = 1,
 };
 
 /// Serving knobs for estimate_batch.
@@ -84,6 +146,19 @@ struct BatchOptions {
   /// Optional per-worker scratch workspaces, reused across calls so arenas
   /// stay warm between batches (grown to the worker count as needed).
   std::vector<nn::Workspace>* workspaces = nullptr;
+
+  /// Degradation target for nets the model path cannot serve.
+  FallbackPolicy fallback = FallbackPolicy::kAnalytic;
+  /// Batch latency budget in seconds; nets *started* after the budget is
+  /// spent skip the model and degrade directly (ErrorCode::kDeadlineExceeded).
+  /// 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// Per-net latency budget in seconds; a net exceeding it is counted in
+  /// InferenceStats::slow_nets and WARN-logged with its stage breakdown.
+  /// 0 disables the slow-query log.
+  double slow_net_warn_seconds = 0.0;
+  /// When set, resized to the batch and filled with one outcome per net.
+  std::vector<NetOutcome>* outcomes = nullptr;
 };
 
 /// A trained model + its standardizer, bundled for deployment.
@@ -101,6 +176,9 @@ class WireTimingEstimator {
       const std::vector<features::WireRecord>& records, Options options);
 
   /// Per-path wire timing for one net (inference only, no golden timer).
+  /// Throws std::invalid_argument on a structurally invalid net and
+  /// std::runtime_error when the model path fails; batched serving callers
+  /// wanting graceful degradation use estimate_batch instead.
   [[nodiscard]] std::vector<PathEstimate> estimate(
       const rcnet::RcNet& net, const features::NetContext& context) const;
 
@@ -108,6 +186,11 @@ class WireTimingEstimator {
   /// Nets are independent, so outputs are bitwise-identical for every thread
   /// count (each net's forward pass is a fixed arithmetic sequence). \p stats,
   /// when non-null, is overwritten with this call's counters.
+  ///
+  /// Never throws per-net: a net that the model cannot serve (invalid
+  /// structure, non-finite activation, worker exception, deadline) degrades
+  /// down the ladder set by options.fallback and the call still returns one
+  /// entry per item, each path tagged with its provenance.
   [[nodiscard]] std::vector<std::vector<PathEstimate>> estimate_batch(
       std::span<const NetBatchItem> items, const BatchOptions& options = {},
       InferenceStats* stats = nullptr) const;
@@ -132,10 +215,19 @@ class WireTimingEstimator {
  private:
   WireTimingEstimator() = default;
 
-  /// Shared single-net path: feature extraction + forward + unstandardize.
-  [[nodiscard]] std::vector<PathEstimate> estimate_one(
+  /// Wall seconds spent per stage of one net (slow-query log breakdown).
+  struct StageSeconds {
+    double featurize = 0.0;
+    double forward = 0.0;
+    double fallback = 0.0;
+  };
+
+  /// Model path for one *structurally valid* net: feature extraction +
+  /// forward + unstandardize, with every failure mode (including injected
+  /// ones) converted into a Status instead of escaping.
+  [[nodiscard]] Expected<std::vector<PathEstimate>> run_model_path(
       const rcnet::RcNet& net, const features::NetContext& context,
-      nn::Workspace* workspace) const;
+      nn::Workspace* workspace, StageSeconds* stages) const;
 
   std::unique_ptr<nn::WireModel> model_;
   features::Standardizer standardizer_;
@@ -156,6 +248,13 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
 
   /// Worker count used by time_nets; takes effect from the next batch.
   void set_threads(std::size_t threads);
+
+  /// Degradation/deadline/slow-log knobs applied to every batched call.
+  /// The threads/pool/workspaces/outcomes fields of \p options are managed
+  /// by this source and ignored.
+  void set_serving_options(const BatchOptions& options) {
+    serving_options_ = options;
+  }
 
   [[nodiscard]] std::vector<sim::SinkTiming> time_net(
       const rcnet::RcNet& net, double input_slew,
@@ -185,6 +284,7 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
   std::size_t threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;        ///< created on first batched call
   std::vector<nn::Workspace> workspaces_;   ///< per-worker, reused per batch
+  BatchOptions serving_options_;            ///< degradation/deadline template
   InferenceStats stats_;
 };
 

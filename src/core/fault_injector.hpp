@@ -1,0 +1,96 @@
+/// \file fault_injector.hpp
+/// Deterministic fault injection for the serving path.
+///
+/// Every error branch in estimate_batch (validation, featurization, forward,
+/// non-finite guard, deadline) is reachable through this injector, so tests
+/// exercise the degradation ladder without hand-crafting a broken net per
+/// failure class. Decisions are a pure hash of (seed, site, key): the same
+/// net fails at the same site for any thread count, call order, or batch
+/// split — which is what makes the fault-injection determinism tests
+/// meaningful.
+///
+/// The injector is compiled into release builds but inert unless armed: the
+/// hot-path cost when disabled is one relaxed atomic load per site check.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace gnntrans::core {
+
+/// Where in the per-net serving pipeline a fault can be injected.
+enum class FaultSite : std::uint8_t {
+  kValidate = 0,   ///< pre-flight net validation reports failure
+  kFeaturize = 1,  ///< feature/path extraction throws
+  kForward = 2,    ///< model forward pass throws (worker-exception path)
+  kNonFinite = 3,  ///< forward output flagged as NaN/Inf
+  kDeadline = 4,   ///< net treated as past the batch deadline
+};
+
+inline constexpr std::size_t kFaultSiteCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kValidate: return "validate";
+    case FaultSite::kFeaturize: return "featurize";
+    case FaultSite::kForward: return "forward";
+    case FaultSite::kNonFinite: return "non_finite";
+    case FaultSite::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+/// Seeded, per-site-probability fault source. Thread-safe: configuration
+/// writes happen-before should_fail reads via the armed flag, and trigger
+/// counters are relaxed atomics.
+class FaultInjector {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    /// Per-site trigger probability in [0, 1].
+    double probability = 0.0;
+    /// Bitmask of enabled sites (bit = static_cast<int>(FaultSite)); all on
+    /// by default.
+    std::uint32_t site_mask = (1u << kFaultSiteCount) - 1;
+  };
+
+  FaultInjector() = default;
+
+  /// Process-wide injector consulted by the serving path.
+  [[nodiscard]] static FaultInjector& global();
+
+  /// Arms the injector. Also resets trigger counters.
+  void configure(const Config& config);
+  /// Returns the injector to the inert state (should_fail always false).
+  void disarm();
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// True iff a fault fires at \p site for \p key (typically the net name).
+  /// Pure in (seed, site, key) while armed; always false when disarmed.
+  /// A true return is counted as one injected fault at that site.
+  [[nodiscard]] bool should_fail(FaultSite site, std::string_view key);
+
+  /// Decision only — no counter side effect (for tests predicting outcomes).
+  [[nodiscard]] bool would_fail(FaultSite site,
+                                std::string_view key) const noexcept;
+
+  /// Faults injected (consumed should_fail() == true) since configure().
+  [[nodiscard]] std::uint64_t injected_total() const noexcept;
+  [[nodiscard]] std::uint64_t injected_at(FaultSite site) const noexcept;
+  void reset_counts() noexcept;
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::uint64_t seed_ = 1;
+  /// probability mapped onto the full u64 range; 0 when probability == 0.
+  std::uint64_t threshold_ = 0;
+  std::uint32_t site_mask_ = 0;
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> injected_{};
+};
+
+}  // namespace gnntrans::core

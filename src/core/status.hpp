@@ -1,0 +1,106 @@
+/// \file status.hpp
+/// The serving-path error taxonomy: ErrorCode + Status + Expected<T>.
+///
+/// Production timers degrade rather than abort: one malformed net must not
+/// kill an estimate_batch call serving thousands. Every per-net failure mode
+/// is classified by an ErrorCode so telemetry can count degradations by
+/// reason and tests can assert on exact failure classes instead of matching
+/// exception strings.
+///
+/// Header-only on purpose: lower layers (rcnet's SPEF parser, the cell
+/// Liberty reader) report through the same taxonomy without linking against
+/// gnntrans_core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace gnntrans::core {
+
+/// Why a net (or a parse) failed. Stable small integers — used as array
+/// indices by the per-reason fallback counters.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidNet = 1,            ///< rcnet::validate() pre-flight rejected the net
+  kPathExtractionFailed = 2,  ///< featurization / path enumeration failed
+  kNonFiniteActivation = 3,   ///< NaN/Inf escaped a model layer boundary
+  kDeadlineExceeded = 4,      ///< net started after the batch latency budget
+  kParseError = 5,            ///< malformed input document (SPEF/Liberty)
+  kInternal = 6,              ///< unclassified exception inside the model path
+};
+
+/// Number of distinct ErrorCode values (for per-reason counter arrays).
+inline constexpr std::size_t kErrorCodeCount = 7;
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidNet: return "invalid_net";
+    case ErrorCode::kPathExtractionFailed: return "path_extraction_failed";
+    case ErrorCode::kNonFiniteActivation: return "non_finite_activation";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A result code plus a human-readable message. Cheap to copy when ok (empty
+/// message), explicit about the failure class when not.
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "invalid_net: source node out of range" (or "ok").
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    std::string out = core::to_string(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence (minimal std::expected
+/// stand-in; value-or-error only, no monadic API).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)), has_value_(true) {}  // NOLINT
+  Expected(Status status) : status_(std::move(status)) {}            // NOLINT
+
+  [[nodiscard]] bool has_value() const noexcept { return has_value_; }
+  explicit operator bool() const noexcept { return has_value_; }
+
+  [[nodiscard]] T& value() noexcept { return value_; }
+  [[nodiscard]] const T& value() const noexcept { return value_; }
+  [[nodiscard]] T& operator*() noexcept { return value_; }
+  [[nodiscard]] const T& operator*() const noexcept { return value_; }
+
+  /// Meaningful only when !has_value(); ok() Status otherwise.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  T value_{};
+  Status status_;
+  bool has_value_ = false;
+};
+
+}  // namespace gnntrans::core

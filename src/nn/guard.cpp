@@ -1,0 +1,39 @@
+#include "nn/guard.hpp"
+
+#include <atomic>
+#include <cmath>
+
+namespace gnntrans::nn {
+
+namespace {
+
+std::atomic<bool> g_finite_guard{true};
+
+}  // namespace
+
+NonFiniteActivationError::NonFiniteActivationError(std::string stage,
+                                                   std::size_t row,
+                                                   std::size_t col)
+    : std::runtime_error("non-finite activation at layer boundary '" + stage +
+                         "' [" + std::to_string(row) + "," +
+                         std::to_string(col) + "]"),
+      stage_(std::move(stage)) {}
+
+void set_finite_guard(bool enabled) noexcept {
+  g_finite_guard.store(enabled, std::memory_order_relaxed);
+}
+
+bool finite_guard_enabled() noexcept {
+  return g_finite_guard.load(std::memory_order_relaxed);
+}
+
+void guard_finite(const tensor::Tensor& t, const char* stage) {
+  if (!finite_guard_enabled() || !t.defined()) return;
+  const auto values = t.values();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) [[unlikely]]
+      throw NonFiniteActivationError(stage, i / t.cols(), i % t.cols());
+  }
+}
+
+}  // namespace gnntrans::nn

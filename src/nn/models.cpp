@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/telemetry/trace.hpp"
+#include "nn/guard.hpp"
 #include "tensor/serialize.hpp"
 
 namespace gnntrans::nn {
@@ -28,9 +29,18 @@ std::size_t WireModel::parameter_count() const {
 
 WirePrediction WireModel::forward(const GraphSample& sample,
                                   Workspace* workspace) const {
-  if (!workspace) return run_forward(sample);
-  tensor::ScratchArena::Scope scope(workspace->arena);
-  return run_forward(sample);
+  WirePrediction pred;
+  if (!workspace) {
+    pred = run_forward(sample);
+  } else {
+    tensor::ScratchArena::Scope scope(workspace->arena);
+    pred = run_forward(sample);
+  }
+  // Final boundary guard for every architecture: predictions are [P,1], so
+  // this scan is negligible next to the forward pass it protects.
+  guard_finite(pred.slew, "slew_head");
+  guard_finite(pred.delay, "delay_head");
+  return pred;
 }
 
 namespace {
@@ -98,9 +108,11 @@ class GnnTransModel final : public WireModel {
     const tensor::GraphMatrix& agg =
         config_.use_edge_weights ? sample.weighted_adj : sample.mean_adj;
     Tensor x = sample.x;
+    guard_finite(x, "input");
     {
       const telemetry::TraceSpan span("gnn_forward", "model");
       for (const SageConv& layer : gnn_) x = layer.forward(x, agg);  // Eq. (1)
+      guard_finite(x, "gnn_forward");
     }
     static const std::vector<std::uint8_t> kNoMask;
     {
@@ -108,6 +120,7 @@ class GnnTransModel final : public WireModel {
       for (const SelfAttentionLayer& layer : attention_)
         x = layer.forward(x,
                           config_.global_attention ? kNoMask : sample.attn_mask);
+      guard_finite(x, "attention");
     }
     const telemetry::TraceSpan span("heads", "model");
     Tensor pooled = tensor::spmm(sample.path_pool, x);  // Eq. (4) mean part

@@ -36,19 +36,38 @@ std::vector<std::string> RcNet::validate() const {
   }
   if (source >= n) errors.push_back("source node out of range");
   if (sinks.empty()) errors.push_back("net has no sinks");
+  std::vector<bool> sink_seen(n, false);
   for (NodeId s : sinks) {
-    if (s >= n) errors.push_back("sink node out of range");
-    else if (s == source) errors.push_back("sink coincides with source");
+    if (s >= n) {
+      errors.push_back("sink node out of range");
+    } else {
+      if (s == source) errors.push_back("sink coincides with source");
+      if (sink_seen[s])
+        errors.push_back("duplicate sink node " + std::to_string(s));
+      sink_seen[s] = true;
+    }
   }
+  std::vector<std::pair<NodeId, NodeId>> edge_keys;
+  edge_keys.reserve(resistors.size());
   for (std::size_t i = 0; i < resistors.size(); ++i) {
     const Resistor& r = resistors[i];
     if (r.a >= n || r.b >= n)
       errors.push_back("resistor " + std::to_string(i) + " endpoint out of range");
     else if (r.a == r.b)
       errors.push_back("resistor " + std::to_string(i) + " is a self loop");
+    else
+      edge_keys.push_back(std::minmax(r.a, r.b));
     if (!(r.ohms > 0.0))
       errors.push_back("resistor " + std::to_string(i) + " has non-positive value");
   }
+  // Parallel resistors between one node pair mean the extractor emitted the
+  // same segment twice — a malformed netlist, not a legitimate loop.
+  std::sort(edge_keys.begin(), edge_keys.end());
+  for (std::size_t i = 1; i < edge_keys.size(); ++i)
+    if (edge_keys[i] == edge_keys[i - 1])
+      errors.push_back("duplicate resistor between nodes " +
+                       std::to_string(edge_keys[i].first) + " and " +
+                       std::to_string(edge_keys[i].second));
   for (std::size_t i = 0; i < n; ++i)
     if (!(ground_cap[i] > 0.0))
       errors.push_back("node " + std::to_string(i) + " has non-positive ground cap");
@@ -58,8 +77,44 @@ std::vector<std::string> RcNet::validate() const {
     if (!(couplings[i].farads > 0.0))
       errors.push_back("coupling " + std::to_string(i) + " has non-positive value");
   }
-  if (errors.empty() && !is_connected(*this))
-    errors.push_back("resistive graph is disconnected");
+  if (errors.empty()) {
+    // Loop sanity: a connected graph has resistors >= n-1; the surplus is the
+    // independent-loop count. A mesh denser than one loop per node is outside
+    // anything extraction produces and would blow up path enumeration.
+    const std::size_t loops = resistors.size() - (n - 1);
+    if (resistors.size() >= n && loops > n)
+      errors.push_back("implausible loop count " + std::to_string(loops) +
+                       " for " + std::to_string(n) + " nodes");
+
+    // Per-node reachability from the source: name dangling nodes and each
+    // unreachable sink individually rather than one generic message.
+    const Adjacency adj = build_adjacency(*this);
+    std::vector<bool> seen(n, false);
+    std::vector<NodeId> stack{source};
+    seen[source] = true;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const Neighbor& nb : adj[v])
+        if (!seen[nb.node]) {
+          seen[nb.node] = true;
+          stack.push_back(nb.node);
+        }
+    }
+    for (NodeId s : sinks)
+      if (!seen[s])
+        errors.push_back("sink " + std::to_string(s) +
+                         " unreachable from source");
+    for (std::size_t v = 0; v < n; ++v) {
+      if (seen[v]) continue;
+      if (adj[v].empty())
+        errors.push_back("node " + std::to_string(v) +
+                         " is dangling (no resistor attached)");
+      else if (!sink_seen[v])
+        errors.push_back("node " + std::to_string(v) +
+                         " disconnected from source");
+    }
+  }
   return errors;
 }
 

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <string_view>
 
@@ -94,6 +95,24 @@ SpefParseResult parse_spef(std::istream& in) {
   bool source_set = false;
   Section section = Section::kNone;
   std::map<NodeId, double> caps;  // node index -> ground cap (F)
+  std::set<NodeId> conn_nodes;    // *CONN terminals declared so far
+  std::size_t line_no = 0;
+  double c_scale = 1e-15;  // *C_UNIT; SPEF defaults to femtofarads
+  double r_scale = 1.0;    // *R_UNIT; SPEF defaults to ohms
+
+  // Non-fatal diagnostic: recorded, parse continues.
+  auto warn = [&](const std::string& msg) {
+    result.warnings.push_back("line " + std::to_string(line_no) + ": " + msg);
+  };
+  // Structural defect: recorded like a warning, and latched into status so
+  // strict callers can reject the document. First defect wins.
+  auto fail = [&](const std::string& msg) {
+    warn(msg);
+    if (result.status.ok())
+      result.status = core::Status(
+          core::ErrorCode::kParseError,
+          "spef: line " + std::to_string(line_no) + ": " + msg);
+  };
 
   auto finish_net = [&] {
     if (!in_net) return;
@@ -125,6 +144,7 @@ SpefParseResult parse_spef(std::istream& in) {
     }
     current = RcNet{};
     caps.clear();
+    conn_nodes.clear();
     in_net = false;
     source_set = false;
     section = Section::kNone;
@@ -132,17 +152,44 @@ SpefParseResult parse_spef(std::istream& in) {
 
   std::string line;
   while (std::getline(in, line)) {
+    ++line_no;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
     const std::string_view head = tokens.front();
 
+    if (head == "*C_UNIT" || head == "*R_UNIT") {
+      // "*C_UNIT <multiplier> <unit>"; values below scale by multiplier*unit.
+      const auto mult =
+          tokens.size() >= 3 ? parse_double(tokens[1]) : std::nullopt;
+      if (!mult) {
+        fail(std::string(head) + " needs '<multiplier> <unit>'");
+        continue;
+      }
+      const std::string_view unit = tokens[2];
+      if (head == "*C_UNIT") {
+        if (unit == "FF") c_scale = *mult * 1e-15;
+        else if (unit == "PF") c_scale = *mult * 1e-12;
+        else if (unit == "F") c_scale = *mult;
+        else fail("unknown capacitance unit '" + std::string(unit) + "'");
+      } else {
+        if (unit == "OHM") r_scale = *mult;
+        else if (unit == "KOHM") r_scale = *mult * 1e3;
+        else if (unit == "MOHM") r_scale = *mult * 1e6;
+        else fail("unknown resistance unit '" + std::string(unit) + "'");
+      }
+      continue;
+    }
+
     if (head == "*D_NET") {
+      if (in_net)
+        fail("*D_NET " + (tokens.size() >= 2 ? std::string(tokens[1]) : "?") +
+             " starts before *END of " + current.name);
       finish_net();
       if (tokens.size() >= 2) {
         in_net = true;
         current.name = std::string(tokens[1]);
       } else {
-        result.warnings.push_back("*D_NET without a name; skipped");
+        warn("*D_NET without a name; skipped");
       }
       continue;
     }
@@ -159,11 +206,19 @@ SpefParseResult parse_spef(std::istream& in) {
         if (head == "*I" && tokens.size() >= 3) {
           const auto idx = parse_node_index(tokens[1], current.name);
           if (!idx) break;
+          if (!conn_nodes.insert(*idx).second)
+            fail("duplicate *CONN definition for node " +
+                 std::string(tokens[1]));
           if (tokens[2] == "I") {
+            if (source_set && current.source != *idx)
+              fail("second driver terminal " + std::string(tokens[1]) +
+                   " in net " + current.name);
             current.source = *idx;
             source_set = true;
           } else if (tokens[2] == "O") {
             current.sinks.push_back(*idx);
+          } else {
+            warn("unknown *CONN direction '" + std::string(tokens[2]) + "'");
           }
         }
         break;
@@ -173,14 +228,20 @@ SpefParseResult parse_spef(std::istream& in) {
         if (tokens.size() == 3) {
           const auto idx = parse_node_index(tokens[1], current.name);
           const auto value = parse_double(tokens[2]);
-          if (idx && value) caps[*idx] += *value * 1e-15;
+          if (idx && value) {
+            if (caps.contains(*idx))
+              fail("duplicate ground *CAP for node " + std::string(tokens[1]));
+            caps[*idx] += *value * c_scale;
+          } else if (idx && !value) {
+            warn("unparsable *CAP value '" + std::string(tokens[2]) + "'");
+          }
         } else if (tokens.size() == 4) {
           const auto idx = parse_node_index(tokens[1], current.name);
           const auto value = parse_double(tokens[3]);
           if (idx && value) {
             CouplingCap c;
             c.victim_node = *idx;
-            c.farads = *value * 1e-15;
+            c.farads = *value * c_scale;
             if (tokens[2].starts_with("AGGR:")) {
               std::uint64_t seed = 0;
               const std::string_view s = tokens[2].substr(5);
@@ -188,7 +249,12 @@ SpefParseResult parse_spef(std::istream& in) {
               c.aggressor_seed = seed;
             }
             current.couplings.push_back(c);
+          } else if (idx && !value) {
+            warn("unparsable *CAP value '" + std::string(tokens[3]) + "'");
           }
+        } else {
+          warn("malformed *CAP entry (" + std::to_string(tokens.size()) +
+               " tokens)");
         }
         break;
       }
@@ -197,7 +263,13 @@ SpefParseResult parse_spef(std::istream& in) {
           const auto a = parse_node_index(tokens[1], current.name);
           const auto b = parse_node_index(tokens[2], current.name);
           const auto value = parse_double(tokens[3]);
-          if (a && b && value) current.resistors.push_back({*a, *b, *value});
+          if (a && b && value)
+            current.resistors.push_back({*a, *b, *value * r_scale});
+          else if (a && b && !value)
+            warn("unparsable *RES value '" + std::string(tokens[3]) + "'");
+        } else {
+          warn("malformed *RES entry (" + std::to_string(tokens.size()) +
+               " tokens)");
         }
         break;
       }
@@ -205,10 +277,10 @@ SpefParseResult parse_spef(std::istream& in) {
         break;
     }
   }
+  if (in_net)
+    fail("unexpected end of file inside *D_NET " + current.name +
+         " (missing *END; file truncated?)");
   finish_net();
-  if (!source_set && !result.nets.empty()) {
-    // Note: per-net missing-source nets already defaulted to node 0.
-  }
   static telemetry::Counter nets_metric =
       telemetry::MetricsRegistry::global().counter(
           "gnntrans_spef_nets_parsed_total", "Nets read from SPEF input");

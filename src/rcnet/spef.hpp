@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "rcnet/rcnet.hpp"
 
 namespace gnntrans::rcnet {
@@ -28,13 +29,22 @@ void write_spef(std::ostream& out, const std::vector<RcNet>& nets);
 [[nodiscard]] std::string to_spef(const RcNet& net);
 
 /// Parse outcome: nets plus human-readable diagnostics for skipped content.
+///
+/// The parser is lenient — it salvages every net it can — but \c status
+/// reports the *first* structural defect of the document (unknown units,
+/// duplicate *CONN/*CAP definitions, truncation inside a *D_NET) with its
+/// line number, so strict callers can reject the file outright. All
+/// diagnostics, fatal or not, are also appended to \c warnings ("line N: ...").
 struct SpefParseResult {
   std::vector<RcNet> nets;
   std::vector<std::string> warnings;
+  core::Status status;  ///< kOk, or kParseError with the first defect
 };
 
 /// Parses a SPEF-subset document. Unknown sections are skipped with a warning;
 /// malformed nets are dropped with a warning rather than aborting the parse.
+/// Honors *C_UNIT (FF/PF/F) and *R_UNIT (OHM/KOHM/MOHM) header directives;
+/// unrecognized units are a parse error (values would be silently misscaled).
 [[nodiscard]] SpefParseResult parse_spef(std::istream& in);
 
 /// Convenience: parses SPEF text; returns std::nullopt when no net survives.

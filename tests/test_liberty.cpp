@@ -77,6 +77,39 @@ TEST(Liberty, UnterminatedGroupThrows) {
   EXPECT_THROW(parse_liberty(in), std::runtime_error);
 }
 
+// Parse errors name the offending source line so users can fix real .lib
+// files; each case checks the "line N" prefix and the defect description.
+TEST(Liberty, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* expect;  // substring of the exception message
+  };
+  const Case cases[] = {
+      // '}' of cell/library never closed: EOF is on line 3.
+      {"library (x) {\n  cell (INV_X1) {\n", "line 3"},
+      // Attribute missing its ';' terminator swallows the closing braces.
+      {"library (x) {\n  time_unit : 1ps\n}", "expected ';'"},
+      // Stray character on line 2.
+      {"library (x) {\n  \"unterminated\n", "line 2: unterminated string"},
+      // Argument list left open.
+      {"library (x {\n}\n", "argument list"},
+      // Open comment.
+      {"library (x) {\n/* never closed\n", "line 2: unterminated /* comment"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.text);
+    try {
+      (void)parse_liberty(in);
+      FAIL() << "expected parse error for: " << c.text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("liberty: line"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(Liberty, CommentsAreIgnored)  {
   std::istringstream in(
       "/* header */ library (x) { /* inner */ time_unit : 1ps; }\n");

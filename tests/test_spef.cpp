@@ -187,6 +187,91 @@ TEST(Spef, RandomizedNetsPreserveElectricalProperties) {
   EXPECT_TRUE(saw_coupling);
 }
 
+// ---------------------------------------------------------------------------
+// Malformed-input hardening: every defect is reported through
+// SpefParseResult::status with its line number, and the parser never throws.
+
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  const char* expect_in_status;  // substring of status.message()
+  int expect_line;               // line number named in the status
+};
+
+class SpefMalformed : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(SpefMalformed, ReportsStatusWithLineNumber) {
+  const MalformedCase& c = GetParam();
+  std::istringstream in(c.text);
+  const SpefParseResult result = parse_spef(in);
+  ASSERT_FALSE(result.status.ok()) << c.label;
+  EXPECT_EQ(result.status.code(), gnntrans::core::ErrorCode::kParseError);
+  EXPECT_NE(result.status.message().find(c.expect_in_status), std::string::npos)
+      << "status: " << result.status.message();
+  EXPECT_NE(result.status.message().find(
+                "line " + std::to_string(c.expect_line)),
+            std::string::npos)
+      << "status: " << result.status.message();
+  EXPECT_FALSE(result.warnings.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Defects, SpefMalformed,
+    ::testing::Values(
+        MalformedCase{"truncated",
+                      "*D_NET cut 3.0\n*CONN\n*I cut:0 I\n*I cut:1 O\n"
+                      "*CAP\n1 cut:0 1.0\n",
+                      "missing *END", 6},
+        MalformedCase{"unknown_cap_unit", "*C_UNIT 1 NF\n",
+                      "unknown capacitance unit 'NF'", 1},
+        MalformedCase{"unknown_res_unit", "*SPEF \"x\"\n*R_UNIT 1 GOHM\n",
+                      "unknown resistance unit 'GOHM'", 2},
+        MalformedCase{"bad_unit_syntax", "*C_UNIT FF\n",
+                      "needs '<multiplier> <unit>'", 1},
+        MalformedCase{"duplicate_conn",
+                      "*D_NET n1 3.0\n*CONN\n*I n1:0 I\n*I n1:1 O\n"
+                      "*I n1:1 O\n*CAP\n1 n1:0 1.0\n2 n1:1 1.0\n"
+                      "*RES\n1 n1:0 n1:1 10.0\n*END\n",
+                      "duplicate *CONN definition for node n1:1", 5},
+        MalformedCase{"second_driver",
+                      "*D_NET n1 3.0\n*CONN\n*I n1:0 I\n*I n1:1 I\n"
+                      "*CAP\n1 n1:0 1.0\n2 n1:1 1.0\n"
+                      "*RES\n1 n1:0 n1:1 10.0\n*END\n",
+                      "second driver terminal n1:1", 4},
+        MalformedCase{"duplicate_cap",
+                      "*D_NET n1 3.0\n*CONN\n*I n1:0 I\n*I n1:1 O\n"
+                      "*CAP\n1 n1:0 1.0\n2 n1:0 1.0\n3 n1:1 1.0\n"
+                      "*RES\n1 n1:0 n1:1 10.0\n*END\n",
+                      "duplicate ground *CAP for node n1:0", 7},
+        MalformedCase{"unterminated_net",
+                      "*D_NET a 1.0\n*CONN\n*I a:0 I\n*CAP\n1 a:0 1.0\n"
+                      "*D_NET b 1.0\n*CONN\n*END\n",
+                      "*D_NET b starts before *END of a", 6}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Spef, UnitDirectivesScaleValues) {
+  // PF caps and KOHM resistances must land in farads/ohms.
+  std::istringstream in(
+      "*C_UNIT 1 PF\n*R_UNIT 1 KOHM\n"
+      "*D_NET n1 3.0\n*CONN\n*I n1:0 I\n*I n1:1 O\n"
+      "*CAP\n1 n1:0 1.5\n2 n1:1 1.5\n*RES\n1 n1:0 n1:1 25.0\n*END\n");
+  const SpefParseResult result = parse_spef(in);
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  ASSERT_EQ(result.nets.size(), 1u);
+  EXPECT_NEAR(result.nets[0].ground_cap[0], 1.5e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(result.nets[0].resistors[0].ohms, 25.0e3);
+}
+
+TEST(Spef, CleanRoundTripHasOkStatus) {
+  const RcNet net = sample_net(9);
+  std::istringstream in(to_spef(net));
+  const SpefParseResult result = parse_spef(in);
+  EXPECT_TRUE(result.status.ok()) << result.status.to_string();
+  EXPECT_TRUE(result.warnings.empty());
+}
+
 TEST(Spef, ForeignNodeNamesAreSkippedGracefully) {
   // A resistor referencing another net's node is ignored; net stays valid.
   std::istringstream in(

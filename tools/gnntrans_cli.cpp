@@ -24,6 +24,17 @@
 //       level (identical arrivals for any T). --paths K appends a sign-off
 //       style report of the K worst paths.
 //
+// Serving robustness flags (predict, and sta with --model):
+//   --fallback P        analytic (default) degrades model-failed nets to the
+//                       Elmore/D2M baseline; none returns zeroed estimates
+//   --deadline-ms D     batch latency budget; nets started past it skip the
+//                       model and degrade (0 = off, default)
+//   --slow-ms S         WARN-log any net slower than S ms with its per-stage
+//                       breakdown (0 = off, default)
+//   --fault-inject P    deterministically inject faults into a fraction P of
+//                       (site, net) decisions — testing/chaos knob, default 0
+//   --fault-seed S      seed for the fault-injection hash (default 1)
+//
 // Telemetry flags (any subcommand; most useful on predict/sta/train):
 //   --log-level L       trace|debug|info|warn|error|off (default info)
 //   --log-json FILE     mirror log records to FILE as JSON lines
@@ -46,6 +57,7 @@
 
 #include "cell/liberty.hpp"
 #include "core/estimator.hpp"
+#include "core/fault_injector.hpp"
 #include "core/metrics.hpp"
 #include "core/telemetry/telemetry.hpp"
 #include "features/dataset.hpp"
@@ -250,6 +262,34 @@ int cmd_eval(const Args& args) {
   return 0;
 }
 
+/// Reads the shared serving-robustness flags into \p options and arms the
+/// global fault injector when --fault-inject is nonzero.
+void apply_serving_flags(const Args& args, core::BatchOptions& options) {
+  const std::string policy = args.get("fallback").value_or("analytic");
+  if (policy == "analytic") {
+    options.fallback = core::FallbackPolicy::kAnalytic;
+  } else if (policy == "none") {
+    options.fallback = core::FallbackPolicy::kNone;
+  } else {
+    GNNTRANS_LOG_ERROR("cli", "unknown --fallback '%s' (analytic|none)",
+                       policy.c_str());
+    std::exit(1);
+  }
+  options.deadline_seconds = args.get_double("deadline-ms", 0.0) * 1e-3;
+  options.slow_net_warn_seconds = args.get_double("slow-ms", 0.0) * 1e-3;
+
+  const double fault_p = args.get_double("fault-inject", 0.0);
+  if (fault_p > 0.0) {
+    core::FaultInjector::Config cfg;
+    cfg.probability = fault_p;
+    cfg.seed = static_cast<std::uint64_t>(args.get_long("fault-seed", 1));
+    core::FaultInjector::global().configure(cfg);
+    GNNTRANS_LOG_WARN("cli", "fault injection armed: p=%.4f seed=%llu",
+                      fault_p,
+                      static_cast<unsigned long long>(cfg.seed));
+  }
+}
+
 int cmd_predict(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
   const auto estimator =
@@ -276,9 +316,11 @@ int cmd_predict(const Args& args) {
   options.pool = threads > 1 ? &pool : nullptr;
   options.threads = threads;
   options.workspaces = &workspaces;
+  apply_serving_flags(args, options);
   core::InferenceStats total;
 
-  std::printf("%-16s %-6s %12s %12s\n", "net", "sink", "delay(ps)", "slew(ps)");
+  std::printf("%-16s %-6s %12s %12s  %s\n", "net", "sink", "delay(ps)",
+              "slew(ps)", "source");
   for (std::size_t begin = 0; begin < valid.size(); begin += batch_size) {
     const std::size_t count = std::min(batch_size, valid.size() - begin);
     std::vector<core::NetBatchItem> items(count);
@@ -289,8 +331,9 @@ int cmd_predict(const Args& args) {
     total.merge(stats);
     for (std::size_t i = 0; i < count; ++i)
       for (const core::PathEstimate& pe : batches[i])
-        std::printf("%-16s %-6u %12.2f %12.2f\n", valid[begin + i]->name.c_str(),
-                    pe.sink, pe.delay * 1e12, pe.slew * 1e12);
+        std::printf("%-16s %-6u %12.2f %12.2f  %s\n",
+                    valid[begin + i]->name.c_str(), pe.sink, pe.delay * 1e12,
+                    pe.slew * 1e12, core::to_string(pe.provenance));
   }
   GNNTRANS_LOG_INFO("serving", "%s", total.summary().c_str());
   return 0;
@@ -327,6 +370,9 @@ int cmd_sta(const Args& args) {
     estimator = core::WireTimingEstimator::load_file(*model_path);
     core::EstimatorWireSource source(*estimator, parsed.design, library,
                                      threads);
+    core::BatchOptions serving;
+    apply_serving_flags(args, serving);
+    source.set_serving_options(serving);
     sta = netlist::run_sta(parsed.design, library, source);
     source_name = source.name();
     GNNTRANS_LOG_INFO("serving", "%s", source.stats().summary().c_str());
