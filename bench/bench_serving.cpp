@@ -10,9 +10,19 @@
 // Scaling is hardware-bound: speedup at T workers approaches min(T, cores).
 // On a single-core container every T reports ~1x — run on a multicore host
 // to see the fan-out.
+//
+// Flags: --obs-port P [--obs-addr A] serves live /metrics etc. while the
+// bench runs; --flight-out FILE dumps the flight recorder at exit. A
+// machine-readable summary always lands in BENCH_serving.json (override the
+// path with --json-out).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -75,9 +85,67 @@ EvalSet build_eval_set(const cell::CellLibrary& library, std::size_t count) {
   return set;
 }
 
+/// The numbers BENCH_serving.json records so the perf trajectory is
+/// comparable across commits.
+struct BenchSummary {
+  double nets_per_second = 0.0;  ///< T=1 steady state (arenas warm)
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double tracing_overhead_pct = 0.0;           ///< full tracing (1-in-1)
+  double tracing_overhead_adaptive_pct = 0.0;  ///< after the controller
+  std::size_t effective_sample_every = 1;
+  double fallback_overhead_pct = 0.0;  ///< 1% injection vs disarmed
+};
+
+void write_summary_json(const std::string& path, const BenchSummary& s) {
+  std::ofstream out(path);
+  if (!out) {
+    GNNTRANS_LOG_ERROR("bench", "cannot open %s for write", path.c_str());
+    return;
+  }
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"nets_per_second\": %.1f,\n"
+                "  \"p50_us\": %.2f,\n"
+                "  \"p99_us\": %.2f,\n"
+                "  \"tracing_overhead_pct\": %.3f,\n"
+                "  \"tracing_overhead_adaptive_pct\": %.3f,\n"
+                "  \"effective_sample_every\": %zu,\n"
+                "  \"fallback_overhead_pct\": %.3f\n"
+                "}\n",
+                s.nets_per_second, s.p50_us, s.p99_us, s.tracing_overhead_pct,
+                s.tracing_overhead_adaptive_pct, s.effective_sample_every,
+                s.fallback_overhead_pct);
+  out << buf;
+  GNNTRANS_LOG_INFO("bench", "wrote %s", path.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serving.json";
+  telemetry::ObsServerConfig obs_cfg;
+  bool want_obs = false;
+  std::string flight_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--obs-port") == 0) {
+      obs_cfg.port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      want_obs = true;
+    } else if (std::strcmp(argv[i], "--obs-addr") == 0) {
+      obs_cfg.addr = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--flight-out") == 0) {
+      flight_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--json-out") == 0) {
+      json_path = argv[i + 1];
+    }
+  }
+  std::unique_ptr<telemetry::ObsServer> obs;
+  if (want_obs) {
+    obs = std::make_unique<telemetry::ObsServer>(obs_cfg);
+    obs->start();
+  }
+
   std::printf("=== Serving throughput: batched inference engine ===\n\n");
   const auto library = cell::CellLibrary::make_default();
 
@@ -107,6 +175,7 @@ int main() {
                             {8, 10, 8, 9, 9, 12, 9});
   table.print_header();
 
+  BenchSummary summary;
   double base_rate = 0.0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     core::BatchOptions options;
@@ -120,7 +189,12 @@ int main() {
     (void)estimator.estimate_batch(set.items, options, &stats);
     (void)estimator.estimate_batch(set.items, options, &stats);
 
-    if (threads == 1) base_rate = stats.nets_per_second;
+    if (threads == 1) {
+      base_rate = stats.nets_per_second;
+      summary.nets_per_second = stats.nets_per_second;
+      summary.p50_us = stats.p50_net_seconds * 1e6;
+      summary.p99_us = stats.p99_net_seconds * 1e6;
+    }
     const std::size_t acq = stats.arena_reused_buffers + stats.arena_fresh_allocs;
     table.print_row(
         {std::to_string(threads), bench::TablePrinter::fmt(stats.nets_per_second, 0),
@@ -159,16 +233,38 @@ int main() {
     recorder.disable();
     (void)timed_passes(1);  // warm-up
     const double off_secs = timed_passes(kPasses);
+
+    // Full tracing: a 100% overhead budget keeps the controller at 1-in-1,
+    // so this measures the unthrottled cost of every span.
+    recorder.configure({1, 100.0});
     recorder.enable();
     const double on_secs = timed_passes(kPasses);
-    recorder.disable();
     const double rate_off =
         static_cast<double>(kNets * kPasses) / off_secs;
     const double rate_on = static_cast<double>(kNets * kPasses) / on_secs;
+    summary.tracing_overhead_pct = 100.0 * (on_secs - off_secs) / off_secs;
     std::printf("tracing off: %.0f nets/s   tracing on: %.0f nets/s   "
                 "enabled-path overhead: %.2f%% (%zu spans recorded)\n",
-                rate_off, rate_on, 100.0 * (on_secs - off_secs) / off_secs,
+                rate_off, rate_on, summary.tracing_overhead_pct,
                 recorder.event_count());
+
+    // Adaptive sampling: a 2% budget lets the controller raise the effective
+    // 1-in-N from the measured span cost; estimate_batch feeds it per batch.
+    recorder.configure({1, 2.0});
+    (void)timed_passes(1);  // let the controller converge
+    const double adaptive_secs = timed_passes(kPasses);
+    recorder.disable();
+    const double rate_adaptive =
+        static_cast<double>(kNets * kPasses) / adaptive_secs;
+    summary.tracing_overhead_adaptive_pct =
+        100.0 * (adaptive_secs - off_secs) / off_secs;
+    summary.effective_sample_every = recorder.effective_sample_every();
+    std::printf("adaptive (2%% budget): %.0f nets/s   overhead: %.2f%%   "
+                "effective sampling 1/%zu   measured span cost %.0f ns\n",
+                rate_adaptive, summary.tracing_overhead_adaptive_pct,
+                recorder.effective_sample_every(),
+                recorder.measured_span_cost_ns());
+    recorder.configure({1, 2.0});
     recorder.clear();
   }
 
@@ -209,6 +305,7 @@ int main() {
 
     const double rate_off = static_cast<double>(kNets * kPasses) / off_secs;
     const double rate_on = static_cast<double>(kNets * kPasses) / on_secs;
+    summary.fallback_overhead_pct = 100.0 * (on_secs - off_secs) / off_secs;
     std::printf("injection off: %.0f nets/s (%zu degraded)\n", rate_off,
                 off_stats.fallback_nets + off_stats.failed_nets);
     std::printf("injection 1%%:  %.0f nets/s (%zu degraded, %.2f%% of nets, "
@@ -216,7 +313,7 @@ int main() {
                 rate_on, on_stats.fallback_nets + on_stats.failed_nets,
                 100.0 * on_stats.degraded_fraction(),
                 injector.injected_total(),
-                100.0 * (on_secs - off_secs) / off_secs);
+                summary.fallback_overhead_pct);
     std::printf("injected summary: %s\n", on_stats.summary().c_str());
   }
 
@@ -224,5 +321,18 @@ int main() {
   // registry, in Prometheus text form (what --metrics-out writes).
   std::printf("\n=== Metrics snapshot (Prometheus text) ===\n\n%s",
               telemetry::MetricsRegistry::global().prometheus_text().c_str());
+
+  write_summary_json(json_path, summary);
+  if (!flight_path.empty()) {
+    std::ofstream out(flight_path);
+    if (!out) {
+      GNNTRANS_LOG_ERROR("bench", "cannot open %s for write",
+                         flight_path.c_str());
+    } else {
+      telemetry::FlightRecorder::global().write_json(out);
+      GNNTRANS_LOG_INFO("bench", "wrote flight records to %s",
+                        flight_path.c_str());
+    }
+  }
   return 0;
 }

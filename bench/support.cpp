@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "core/metrics.hpp"
+#include "core/telemetry/log.hpp"
 
 namespace gnntrans::bench {
 
@@ -132,7 +133,8 @@ std::vector<std::unique_ptr<ZooEntry>> train_zoo(
     bool verbose) {
   std::vector<std::unique_ptr<ZooEntry>> zoo;
 
-  if (verbose) std::printf("[train] DAC20 (GBDT + loop breaking)...\n");
+  if (verbose)
+    GNNTRANS_LOG_INFO("bench", "training DAC20 (GBDT + loop breaking)...");
   baseline::Dac20Estimator dac;
   baseline::GbdtConfig gcfg;
   gcfg.trees = 120;
@@ -147,7 +149,7 @@ std::vector<std::unique_ptr<ZooEntry>> train_zoo(
       {nn::ModelKind::kGnnTrans, "GNNTrans"},
   };
   for (const auto& [kind, label] : neural) {
-    if (verbose) std::printf("[train] %s...\n", label);
+    if (verbose) GNNTRANS_LOG_INFO("bench", "training %s...", label);
     auto est = core::WireTimingEstimator::train(train_records,
                                                 neural_options(scale, kind));
     zoo.push_back(std::make_unique<NeuralEntry>(label, std::move(est)));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -399,6 +400,24 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
           stages.forward * 1e6, stages.fallback * 1e6,
           to_string(outcome.provenance));
     }
+
+    telemetry::FlightRecorder& flight = telemetry::FlightRecorder::global();
+    if (flight.enabled()) {
+      telemetry::FlightRecord fr;
+      fr.set_net(net.name);
+      fr.set_outcome(to_string(outcome.provenance));
+      if (outcome.provenance != EstimateProvenance::kModel)
+        fr.set_error(to_string(outcome.error));
+      fr.featurize_us = static_cast<float>(stages.featurize * 1e6);
+      fr.forward_us = static_cast<float>(stages.forward * 1e6);
+      fr.fallback_us = static_cast<float>(stages.fallback * 1e6);
+      fr.total_us = static_cast<float>(latency[i] * 1e6);
+      fr.arena_peak_bytes = static_cast<std::uint32_t>(std::min<std::size_t>(
+          workspaces[worker].arena_stats().peak_bytes, UINT32_MAX));
+      fr.slow = outcome.slow ? 1 : 0;
+      fr.degraded = outcome.provenance != EstimateProvenance::kModel ? 1 : 0;
+      flight.record(fr);
+    }
   };
   if (threads == 1) {
     for (std::size_t i = 0; i < items.size(); ++i) run_one(i, 0);
@@ -443,6 +462,13 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
   for (std::size_t c = 0; c < kErrorCodeCount; ++c)
     if (degraded_by_reason[c] > 0)
       metrics.degraded_reason[c].inc(degraded_by_reason[c]);
+
+  // Overhead controller: the serving path opens ~2 spans per net (featurize
+  // + forward) plus the batch span; feed that offered load and this batch's
+  // wall time to the adaptive sampler so tracing stays within budget.
+  if (!items.empty() && wall > 0.0)
+    telemetry::TraceRecorder::global().adapt(
+        2.0 * static_cast<double>(items.size()) + 1.0, wall);
 
   if (stats) {
     *stats = InferenceStats{};

@@ -1,0 +1,405 @@
+#include "core/telemetry/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/telemetry/log.hpp"
+
+namespace gnntrans::telemetry {
+
+namespace detail {
+
+void write_slot(FlightSlot& slot, const FlightRecord& record) noexcept {
+  std::uint64_t words[kFlightWords];
+  std::memcpy(words, &record, sizeof(record));
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_relaxed);  // odd: mid-write
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t w = 0; w < kFlightWords; ++w)
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);  // even: stable
+}
+
+bool read_slot(const FlightSlot& slot, FlightRecord* out) noexcept {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 & 1) continue;  // mid-write
+    std::uint64_t words[kFlightWords];
+    for (std::size_t w = 0; w < kFlightWords; ++w)
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) != v1) continue;
+    std::memcpy(out, words, sizeof(FlightRecord));
+    return out->seq != 0;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::FlightSlot;
+
+constexpr std::size_t kPinnedSlots = 64;   ///< per-thread pinned-ring capacity
+constexpr std::size_t kMaxRings = 256;     ///< recording-thread hard cap
+
+std::atomic<std::uint64_t> g_next_flight_recorder_id{1};
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe formatting: the signal path may not allocate or call
+// stdio, so JSON is assembled with these and flushed through write(2).
+
+char* append_raw(char* p, char* end, std::string_view s) noexcept {
+  const std::size_t n =
+      std::min<std::size_t>(s.size(), static_cast<std::size_t>(end - p));
+  std::memcpy(p, s.data(), n);
+  return p + n;
+}
+
+char* append_u64(char* p, char* end, std::uint64_t v) noexcept {
+  char digits[20];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && p < end) *p++ = digits[--n];
+  return p;
+}
+
+/// Microsecond values with one decimal: 12.3 — enough resolution for a
+/// flight log, no float formatting in signal context.
+char* append_us(char* p, char* end, float us) noexcept {
+  if (!(us >= 0.0f)) us = 0.0f;  // also catches NaN
+  const std::uint64_t tenths = static_cast<std::uint64_t>(us * 10.0f + 0.5f);
+  p = append_u64(p, end, tenths / 10);
+  p = append_raw(p, end, ".");
+  return append_u64(p, end, tenths % 10);
+}
+
+/// Name bytes that could break the JSON string (or a terminal) become '_';
+/// proper escaping needs allocation, which the signal path cannot do.
+char* append_sanitized(char* p, char* end, const char* s,
+                       std::size_t cap) noexcept {
+  for (std::size_t i = 0; i < cap && s[i] != '\0' && p < end; ++i) {
+    const char c = s[i];
+    *p++ = (c >= 0x20 && c != '"' && c != '\\' && c != 0x7f) ? c : '_';
+  }
+  return p;
+}
+
+void write_all(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return;  // EINTR in a signal handler: give up, don't loop
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// One record as a JSON object into \p buf; returns the byte count.
+std::size_t format_record(const FlightRecord& r, char* buf,
+                          std::size_t cap) noexcept {
+  char* p = buf;
+  char* end = buf + cap - 1;
+  p = append_raw(p, end, "{\"seq\":");
+  p = append_u64(p, end, r.seq);
+  p = append_raw(p, end, ",\"net\":\"");
+  p = append_sanitized(p, end, r.net, sizeof(r.net));
+  p = append_raw(p, end, "\",\"outcome\":\"");
+  p = append_sanitized(p, end, r.outcome, sizeof(r.outcome));
+  p = append_raw(p, end, "\",\"error\":\"");
+  p = append_sanitized(p, end, r.error, sizeof(r.error));
+  p = append_raw(p, end, "\",\"thread\":");
+  p = append_u64(p, end, r.thread_id);
+  p = append_raw(p, end, ",\"total_us\":");
+  p = append_us(p, end, r.total_us);
+  p = append_raw(p, end, ",\"featurize_us\":");
+  p = append_us(p, end, r.featurize_us);
+  p = append_raw(p, end, ",\"forward_us\":");
+  p = append_us(p, end, r.forward_us);
+  p = append_raw(p, end, ",\"fallback_us\":");
+  p = append_us(p, end, r.fallback_us);
+  p = append_raw(p, end, ",\"arena_peak_bytes\":");
+  p = append_u64(p, end, r.arena_peak_bytes);
+  p = append_raw(p, end, ",\"slow\":");
+  p = append_raw(p, end, r.slow ? "true" : "false");
+  p = append_raw(p, end, ",\"pinned\":");
+  p = append_raw(p, end, r.pinned ? "true" : "false");
+  p = append_raw(p, end, "}");
+  return static_cast<std::size_t>(p - buf);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rings
+
+struct FlightRecorder::Ring {
+  Ring(std::size_t capacity, std::uint32_t tid)
+      : thread_id(tid), recent(capacity) {}
+
+  const std::uint32_t thread_id;
+  std::atomic<std::uint64_t> head{0};         ///< main-ring appends
+  std::atomic<std::uint64_t> pinned_head{0};  ///< pinned-ring appends
+  std::vector<FlightSlot> recent;
+  std::array<FlightSlot, kPinnedSlots> pinned;
+};
+
+struct FlightRecorder::Impl {
+  const std::uint64_t id = g_next_flight_recorder_id.fetch_add(1);
+  std::atomic<std::uint64_t> next_seq{0};
+  std::atomic<std::uint64_t> overflow_dropped{0};  ///< > kMaxRings threads
+  std::atomic<std::size_t> ring_capacity{256};
+
+  // Ring registry: a fixed array of atomic pointers so the signal-handler
+  // reader never takes a lock. The mutex only serializes slot assignment
+  // between registering threads (never held on read or record paths).
+  std::mutex register_mutex;
+  std::atomic<std::size_t> ring_count{0};
+  std::array<std::atomic<Ring*>, kMaxRings> rings{};
+};
+
+FlightRecorder::Impl& FlightRecorder::impl() const noexcept {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing) return *existing;
+  auto* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh, std::memory_order_acq_rel))
+    return *fresh;
+  delete fresh;
+  return *existing;
+}
+
+FlightRecorder::FlightRecorder() = default;
+
+FlightRecorder::~FlightRecorder() {
+  Impl* im = impl_.load(std::memory_order_acquire);
+  if (!im) return;
+  const std::size_t count =
+      std::min(im->ring_count.load(std::memory_order_acquire), kMaxRings);
+  for (std::size_t r = 0; r < count; ++r)
+    delete im->rings[r].load(std::memory_order_acquire);
+  delete im;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked singleton
+  return *recorder;
+}
+
+void FlightRecorder::set_ring_capacity(std::size_t records) {
+  impl().ring_capacity.store(std::max<std::size_t>(8, records),
+                             std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring* FlightRecorder::ring_for_this_thread() noexcept {
+  // Cache keyed by recorder id (never reused), like TraceRecorder's rings.
+  thread_local std::vector<std::pair<std::uint64_t, Ring*>> t_cache;
+  Impl& im = impl();
+  for (const auto& [id, ring] : t_cache)
+    if (id == im.id) return ring;
+  try {
+    const std::lock_guard<std::mutex> lock(im.register_mutex);
+    const std::size_t slot = im.ring_count.load(std::memory_order_relaxed);
+    if (slot >= kMaxRings) return nullptr;
+    auto ring = std::make_unique<Ring>(
+        im.ring_capacity.load(std::memory_order_relaxed), this_thread_id());
+    im.rings[slot].store(ring.get(), std::memory_order_release);
+    im.ring_count.store(slot + 1, std::memory_order_release);
+    Ring* raw = ring.release();  // owned by the registry from here
+    t_cache.emplace_back(im.id, raw);
+    return raw;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void FlightRecorder::record(const FlightRecord& record) noexcept {
+  if (!enabled()) return;
+  Impl& im = impl();
+  Ring* ring = ring_for_this_thread();
+  if (!ring) {
+    im.overflow_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FlightRecord rec = record;
+  rec.seq = im.next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec.thread_id = ring->thread_id;
+  rec.pinned = 0;
+  const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+  detail::write_slot(ring->recent[h % ring->recent.size()], rec);
+  ring->head.store(h + 1, std::memory_order_release);
+  if (rec.slow || rec.degraded) {
+    rec.pinned = 1;
+    const std::uint64_t p = ring->pinned_head.load(std::memory_order_relaxed);
+    detail::write_slot(ring->pinned[p % kPinnedSlots], rec);
+    ring->pinned_head.store(p + 1, std::memory_order_release);
+  }
+}
+
+void FlightRecorder::write_json(std::ostream& out) const {
+  Impl& im = impl();
+  std::vector<FlightRecord> recent, pinned;
+  const std::size_t count =
+      std::min(im.ring_count.load(std::memory_order_acquire), kMaxRings);
+  for (std::size_t r = 0; r < count; ++r) {
+    const Ring* ring = im.rings[r].load(std::memory_order_acquire);
+    if (!ring) continue;
+    FlightRecord rec;
+    for (const FlightSlot& slot : ring->recent)
+      if (detail::read_slot(slot, &rec)) recent.push_back(rec);
+    for (const FlightSlot& slot : ring->pinned)
+      if (detail::read_slot(slot, &rec)) pinned.push_back(rec);
+  }
+  const auto by_seq = [](const FlightRecord& a, const FlightRecord& b) {
+    return a.seq < b.seq;
+  };
+  std::sort(recent.begin(), recent.end(), by_seq);
+  std::sort(pinned.begin(), pinned.end(), by_seq);
+
+  // Both dump paths share format_record, so /flight and the crash dump have
+  // one shape; its sanitizer keeps hostile name bytes out of the JSON.
+  const auto emit = [&out](const std::vector<FlightRecord>& records) {
+    bool first = true;
+    char buf[512];
+    for (const FlightRecord& r : records) {
+      if (!first) out << ",";
+      first = false;
+      const std::size_t n = format_record(r, buf, sizeof(buf));
+      out.write(buf, static_cast<std::streamsize>(n));
+    }
+  };
+  out << "{\"recorded\":" << recorded_total()
+      << ",\"dropped\":" << dropped_total() << ",\"records\":[";
+  emit(recent);
+  out << "],\"pinned\":[";
+  emit(pinned);
+  out << "]}";
+}
+
+void FlightRecorder::write_json_fd(int fd) const noexcept {
+  Impl& im = impl();
+  char buf[512];
+  char* p = buf;
+  p = append_raw(p, buf + sizeof(buf), "{\"recorded\":");
+  p = append_u64(p, buf + sizeof(buf), recorded_total());
+  p = append_raw(p, buf + sizeof(buf), ",\"dropped\":");
+  p = append_u64(p, buf + sizeof(buf), dropped_total());
+  p = append_raw(p, buf + sizeof(buf), ",\"records\":[");
+  write_all(fd, buf, static_cast<std::size_t>(p - buf));
+
+  const std::size_t count =
+      std::min(im.ring_count.load(std::memory_order_acquire), kMaxRings);
+  const auto emit_ring = [&](const FlightSlot* slots, std::size_t n,
+                             bool* first) {
+    FlightRecord rec;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!detail::read_slot(slots[s], &rec)) continue;
+      char line[512];
+      std::size_t len = 0;
+      if (!*first) line[len++] = ',';
+      *first = false;
+      len += format_record(rec, line + len, sizeof(line) - len);
+      write_all(fd, line, len);
+    }
+  };
+  bool first = true;
+  for (std::size_t r = 0; r < count; ++r) {
+    const Ring* ring = im.rings[r].load(std::memory_order_acquire);
+    if (ring) emit_ring(ring->recent.data(), ring->recent.size(), &first);
+  }
+  write_all(fd, "],\"pinned\":[", 12);
+  first = true;
+  for (std::size_t r = 0; r < count; ++r) {
+    const Ring* ring = im.rings[r].load(std::memory_order_acquire);
+    if (ring) emit_ring(ring->pinned.data(), kPinnedSlots, &first);
+  }
+  write_all(fd, "]}\n", 3);
+}
+
+std::uint64_t FlightRecorder::recorded_total() const noexcept {
+  Impl& im = impl();
+  std::uint64_t total = 0;
+  const std::size_t count =
+      std::min(im.ring_count.load(std::memory_order_acquire), kMaxRings);
+  for (std::size_t r = 0; r < count; ++r)
+    if (const Ring* ring = im.rings[r].load(std::memory_order_acquire))
+      total += ring->head.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped_total() const noexcept {
+  Impl& im = impl();
+  std::uint64_t dropped = im.overflow_dropped.load(std::memory_order_relaxed);
+  const std::size_t count =
+      std::min(im.ring_count.load(std::memory_order_acquire), kMaxRings);
+  for (std::size_t r = 0; r < count; ++r) {
+    const Ring* ring = im.rings[r].load(std::memory_order_acquire);
+    if (!ring) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    if (head > ring->recent.size()) dropped += head - ring->recent.size();
+  }
+  return dropped;
+}
+
+void FlightRecorder::clear() noexcept {
+  Impl& im = impl();
+  const FlightRecord empty;
+  const std::size_t count =
+      std::min(im.ring_count.load(std::memory_order_acquire), kMaxRings);
+  for (std::size_t r = 0; r < count; ++r) {
+    Ring* ring = im.rings[r].load(std::memory_order_acquire);
+    if (!ring) continue;
+    for (FlightSlot& slot : ring->recent) detail::write_slot(slot, empty);
+    for (FlightSlot& slot : ring->pinned) detail::write_slot(slot, empty);
+    ring->head.store(0, std::memory_order_relaxed);
+    ring->pinned_head.store(0, std::memory_order_relaxed);
+  }
+  im.next_seq.store(0, std::memory_order_relaxed);
+  im.overflow_dropped.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal dump
+
+namespace {
+
+char g_flight_dump_path[512] = {0};  ///< static storage: no allocation in handler
+int g_flight_signals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGABRT};
+
+extern "C" void flight_signal_handler(int signum) {
+  const int fd = ::open(g_flight_dump_path, O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd >= 0) {
+    FlightRecorder::global().write_json_fd(fd);
+    ::close(fd);
+  }
+  // SA_RESETHAND restored the default disposition; re-raise so the process
+  // still dies with the original signal (core dump, wait status).
+  ::raise(signum);
+}
+
+}  // namespace
+
+void install_flight_signal_dump(const char* path) {
+  std::snprintf(g_flight_dump_path, sizeof(g_flight_dump_path), "%s", path);
+  struct sigaction action {};
+  action.sa_handler = flight_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;
+  for (const int signum : g_flight_signals)
+    ::sigaction(signum, &action, nullptr);
+  GNNTRANS_LOG_DEBUG("flight", "fatal-signal flight dump -> %s", path);
+}
+
+}  // namespace gnntrans::telemetry

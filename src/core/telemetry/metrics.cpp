@@ -32,18 +32,6 @@ void atomic_max(std::atomic<double>& target, double value) noexcept {
   }
 }
 
-/// Prometheus metric-name sanitation: [a-zA-Z0-9_:] pass, everything else
-/// becomes '_'.
-std::string sanitize_name(std::string_view name) {
-  std::string out(name);
-  for (char& c : out) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == ':';
-    if (!ok) c = '_';
-  }
-  return out;
-}
-
 /// Shortest round-trip double formatting (%.17g trimmed is overkill for
 /// exposition; %g at 12 digits keeps bucket bounds like 2e-05 readable).
 std::string format_double(double v) {
@@ -54,6 +42,45 @@ std::string format_double(double v) {
 }
 
 }  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.front() >= '0' && out.front() <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help_text(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // HistogramData
@@ -367,26 +394,28 @@ std::string MetricsSnapshot::to_prometheus() const {
   const auto header = [&out](const std::string& name, const std::string& help,
                              const char* type) {
     if (!help.empty())
-      out += "# HELP " + sanitize_name(name) + " " + help + "\n";
-    out += "# TYPE " + sanitize_name(name) + " " + type + "\n";
+      out += "# HELP " + sanitize_metric_name(name) + " " +
+             escape_help_text(help) + "\n";
+    out += "# TYPE " + sanitize_metric_name(name) + " " + type + "\n";
   };
   for (const CounterValue& c : counters) {
     header(c.name, c.help, "counter");
-    out += sanitize_name(c.name) + " " + std::to_string(c.value) + "\n";
+    out += sanitize_metric_name(c.name) + " " + std::to_string(c.value) + "\n";
   }
   for (const GaugeValue& g : gauges) {
     header(g.name, g.help, "gauge");
-    out += sanitize_name(g.name) + " " + format_double(g.value) + "\n";
+    out += sanitize_metric_name(g.name) + " " + format_double(g.value) + "\n";
   }
   for (const HistogramValue& h : histograms) {
     header(h.name, h.help, "histogram");
-    const std::string name = sanitize_name(h.name);
+    const std::string name = sanitize_metric_name(h.name);
     std::uint64_t cumulative = 0;
     const std::vector<std::uint64_t>& counts = h.data.bucket_counts();
     for (std::size_t b = 0; b < h.data.bounds().size(); ++b) {
       cumulative += counts[b];
-      out += name + "_bucket{le=\"" + format_double(h.data.bounds()[b]) +
-             "\"} " + std::to_string(cumulative) + "\n";
+      out += name + "_bucket{le=\"" +
+             escape_label_value(format_double(h.data.bounds()[b])) + "\"} " +
+             std::to_string(cumulative) + "\n";
     }
     out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.data.count()) +
            "\n";

@@ -35,6 +35,20 @@ namespace gnntrans::telemetry {
 /// cache line.
 inline constexpr std::size_t kMetricShards = 16;
 
+// Prometheus exposition hardening (public so tests can probe them directly).
+
+/// Forces \p name into [a-zA-Z_:][a-zA-Z0-9_:]*: invalid characters become
+/// '_' and a leading digit gets a '_' prefix. Empty input yields "_".
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Escapes a label value per the text exposition format: backslash, double
+/// quote, and newline become \\ \" \n.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Escapes HELP text: backslash and newline become \\ \n (quotes are legal
+/// in HELP and left alone).
+[[nodiscard]] std::string escape_help_text(std::string_view help);
+
 /// Fixed-bucket histogram value type. Buckets are defined by ascending upper
 /// bounds; values above the last bound land in an overflow bucket. Counts,
 /// sum, and count are plain (non-atomic) — one writer at a time; the

@@ -1,0 +1,275 @@
+#include "core/telemetry/obs_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/telemetry/flight_recorder.hpp"
+#include "core/telemetry/log.hpp"
+#include "core/telemetry/metrics.hpp"
+
+namespace gnntrans::telemetry {
+
+namespace {
+
+std::atomic<bool> g_model_ready{false};
+
+constexpr const char* kServerVersion = "gnntrans-obs/1";
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+  }
+  return "Internal Server Error";
+}
+
+/// Full HTTP/1.1 response; every reply closes the connection (no keep-alive
+/// state machine — scrapes are one-shot).
+std::string make_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    status_text(status) + "\r\n";
+  out += "Server: ";
+  out += kServerVersion;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, std::string_view data) noexcept {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer went away; scrape clients retry
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Lifetime serving failure rate from the global registry. counter() is
+/// idempotent by name, so this works before the serving path has registered
+/// anything (both read 0).
+double serving_failure_rate() {
+  auto& registry = MetricsRegistry::global();
+  const double nets =
+      static_cast<double>(registry.counter("gnntrans_serving_nets_total").value());
+  const double failed = static_cast<double>(
+      registry.counter("gnntrans_serving_failed_total").value());
+  return nets > 0.0 ? failed / nets : 0.0;
+}
+
+struct ObsMetrics {
+  Counter requests = MetricsRegistry::global().counter(
+      "gnntrans_obs_requests_total", "HTTP requests answered by the obs server");
+  Counter errors = MetricsRegistry::global().counter(
+      "gnntrans_obs_request_errors_total",
+      "Obs-server requests answered with a non-2xx status");
+
+  static const ObsMetrics& get() {
+    static const ObsMetrics metrics;
+    return metrics;
+  }
+};
+
+const std::chrono::steady_clock::time_point g_process_epoch =
+    std::chrono::steady_clock::now();
+
+std::string buildinfo_json() {
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - g_process_epoch)
+                            .count();
+  std::ostringstream out;
+  out << "{\"name\":\"gnntrans\",\"server\":\"" << kServerVersion
+      << "\",\"compiler\":\"" << json_escape(__VERSION__)
+      << "\",\"cxx_standard\":" << __cplusplus << ",\"pid\":" << ::getpid()
+      << ",\"uptime_seconds\":" << uptime
+      << ",\"model_ready\":" << (model_ready() ? "true" : "false") << "}";
+  return out.str();
+}
+
+}  // namespace
+
+void set_model_ready(bool ready) noexcept {
+  g_model_ready.store(ready, std::memory_order_release);
+}
+
+bool model_ready() noexcept {
+  return g_model_ready.load(std::memory_order_acquire);
+}
+
+ObsServer::ObsServer(ObsServerConfig config) : config_(std::move(config)) {}
+
+ObsServer::~ObsServer() { stop(); }
+
+void ObsServer::start() {
+  if (running()) return;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.addr.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("obs server: unparseable address '" +
+                             config_.addr + "'");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("obs server: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  const auto fail = [this](const char* what) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("obs server: " + std::string(what) + " " +
+                             config_.addr + ":" + std::to_string(config_.port) +
+                             " failed: " + detail);
+  };
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail("bind");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail("getsockname");
+  bound_port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, config_.backlog) < 0) fail("listen");
+
+  if (::pipe(wake_pipe_) < 0) fail("self-pipe");
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void ObsServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  const char wake = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &wake, 1);
+  if (thread_.joinable()) thread_.join();
+  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void ObsServer::serve_loop() {
+  GNNTRANS_LOG_INFO("obs", "serving /metrics /metrics.json /healthz /readyz "
+                           "/buildinfo /flight on %s:%u",
+                    config_.addr.c_str(), bound_port_);
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents) break;  // self-pipe: stop() requested
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void ObsServer::handle_connection(int fd) {
+  const ObsMetrics& metrics = ObsMetrics::get();
+  metrics.requests.inc();
+
+  const auto respond = [&](int status, std::string_view type,
+                           std::string_view body) {
+    if (status >= 400) metrics.errors.inc();
+    send_all(fd, make_response(status, type, body));
+  };
+
+  // Read until the end of the request head, a size/time bound, or EOF.
+  std::string request;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.request_timeout_ms);
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    if (request.size() > config_.max_request_bytes)
+      return respond(413, "text/plain", "request too large\n");
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0)
+      return respond(408, "text/plain", "request timeout\n");
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return respond(408, "text/plain", "request timeout\n");
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed before finishing the head
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1)
+    return respond(400, "text/plain", "malformed request line\n");
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t query = path.find('?'); query != std::string::npos)
+    path.resize(query);  // queries are accepted and ignored
+  if (method != "GET")
+    return respond(405, "text/plain", "only GET is supported\n");
+
+  if (path == "/metrics") {
+    return respond(200, "text/plain; version=0.0.4; charset=utf-8",
+                   MetricsRegistry::global().prometheus_text());
+  }
+  if (path == "/metrics.json") {
+    return respond(200, "application/json",
+                   MetricsRegistry::global().json_text());
+  }
+  if (path == "/healthz") {
+    return respond(200, "text/plain", "ok\n");
+  }
+  if (path == "/readyz") {
+    if (!model_ready())
+      return respond(503, "text/plain", "unready: no model loaded\n");
+    const double rate = serving_failure_rate();
+    if (rate > config_.max_failure_rate) {
+      char body[96];
+      std::snprintf(body, sizeof(body),
+                    "unready: failure rate %.3f exceeds %.3f\n", rate,
+                    config_.max_failure_rate);
+      return respond(503, "text/plain", body);
+    }
+    return respond(200, "text/plain", "ready\n");
+  }
+  if (path == "/buildinfo") {
+    return respond(200, "application/json", buildinfo_json());
+  }
+  if (path == "/flight") {
+    std::ostringstream out;
+    FlightRecorder::global().write_json(out);
+    return respond(200, "application/json", out.str());
+  }
+  respond(404, "text/plain", "unknown path\n");
+}
+
+}  // namespace gnntrans::telemetry

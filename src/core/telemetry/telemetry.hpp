@@ -1,10 +1,16 @@
 /// \file telemetry.hpp
 /// Umbrella header for the observability subsystem: structured logging
-/// (log.hpp), the sharded metrics registry (metrics.hpp), and trace-span
-/// profiling (trace.hpp). Zero external dependencies; see DESIGN.md
-/// "Telemetry" for the architecture and overhead budget.
+/// (log.hpp), the sharded metrics registry (metrics.hpp), trace-span
+/// profiling with adaptive sampling (trace.hpp), the per-net flight
+/// recorder (flight_recorder.hpp), the HTTP scrape server (obs_server.hpp),
+/// and the periodic stats reporter (stats_reporter.hpp). Zero external
+/// dependencies; see DESIGN.md "Telemetry" for the architecture and
+/// overhead budget.
 #pragma once
 
+#include "core/telemetry/flight_recorder.hpp"
 #include "core/telemetry/log.hpp"
 #include "core/telemetry/metrics.hpp"
+#include "core/telemetry/obs_server.hpp"
+#include "core/telemetry/stats_reporter.hpp"
 #include "core/telemetry/trace.hpp"

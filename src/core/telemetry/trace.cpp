@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "core/telemetry/log.hpp"
+#include "core/telemetry/metrics.hpp"
 
 namespace gnntrans::telemetry {
 
@@ -22,6 +24,24 @@ void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
   std::memcpy(dst, src.data(), n);
   dst[n] = '\0';
 }
+
+/// Hard ceiling for the adaptive 1-in-N: beyond this, sampling is
+/// effectively off and pushing N higher only loses resolution.
+constexpr std::size_t kMaxSampleEvery = std::size_t{1} << 20;
+
+struct SamplerGauges {
+  Gauge rate = MetricsRegistry::global().gauge(
+      "gnntrans_trace_effective_sample_rate",
+      "Fraction of spans currently recorded (1/N after overhead adaptation)");
+  Gauge cost = MetricsRegistry::global().gauge(
+      "gnntrans_trace_span_cost_ns",
+      "EWMA self-measured cost of recording one trace span, in ns");
+
+  static const SamplerGauges& get() {
+    static const SamplerGauges gauges;
+    return gauges;
+  }
+};
 
 }  // namespace
 
@@ -92,16 +112,89 @@ TraceRecorder::Ring& TraceRecorder::ring_for_this_thread() {
 void TraceRecorder::record(std::string_view name, std::string_view category,
                            std::int64_t begin_ns, std::int64_t end_ns) noexcept {
   if (!enabled()) return;
-  Ring& ring = ring_for_this_thread();
-  const std::lock_guard<std::mutex> lock(ring.mutex);
-  TraceEvent& event = ring.events[ring.next];
-  copy_truncated(event.name, sizeof(event.name), name);
-  copy_truncated(event.category, sizeof(event.category), category);
-  event.begin_ns = begin_ns;
-  event.end_ns = end_ns;
-  event.thread_id = ring.thread_id;
-  ring.next = (ring.next + 1) % ring.events.size();
-  ++ring.written;
+  // Self-time every 64th record so adapt() knows the real per-span cost on
+  // this machine under this contention; EWMA smooths scheduler noise.
+  thread_local std::uint32_t t_probe = 0;
+  const bool timed = (t_probe++ & 63u) == 0;
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
+
+  {
+    Ring& ring = ring_for_this_thread();
+    const std::lock_guard<std::mutex> lock(ring.mutex);
+    TraceEvent& event = ring.events[ring.next];
+    copy_truncated(event.name, sizeof(event.name), name);
+    copy_truncated(event.category, sizeof(event.category), category);
+    event.begin_ns = begin_ns;
+    event.end_ns = end_ns;
+    event.thread_id = ring.thread_id;
+    ring.next = (ring.next + 1) % ring.events.size();
+    ++ring.written;
+  }
+
+  if (timed) {
+    const double cost = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    double prev = span_cost_ns_.load(std::memory_order_relaxed);
+    const double next = prev <= 0.0 ? cost : prev + (cost - prev) * 0.125;
+    // Lost races just drop one probe; the EWMA doesn't care.
+    span_cost_ns_.compare_exchange_weak(prev, next, std::memory_order_relaxed);
+  }
+}
+
+void TraceRecorder::configure(TraceConfig config) noexcept {
+  const std::size_t every =
+      std::clamp<std::size_t>(config.sample_every, 1, kMaxSampleEvery);
+  base_every_.store(every, std::memory_order_relaxed);
+  effective_every_.store(every, std::memory_order_relaxed);
+  budget_pct_.store(config.overhead_budget_pct, std::memory_order_relaxed);
+}
+
+TraceConfig TraceRecorder::config() const noexcept {
+  return {base_every_.load(std::memory_order_relaxed),
+          budget_pct_.load(std::memory_order_relaxed)};
+}
+
+bool TraceRecorder::should_sample() noexcept {
+  if (!enabled()) return false;
+  const std::size_t every = effective_every_.load(std::memory_order_relaxed);
+  if (every <= 1) return true;
+  thread_local std::size_t t_countdown = 0;
+  if (t_countdown == 0) {
+    t_countdown = every - 1;
+    return true;
+  }
+  --t_countdown;
+  return false;
+}
+
+void TraceRecorder::adapt(double spans_per_unit, double unit_seconds) noexcept {
+  if (!(spans_per_unit > 0.0) || !(unit_seconds > 0.0)) return;
+  const double cost_ns = span_cost_ns_.load(std::memory_order_relaxed);
+  if (cost_ns <= 0.0) return;  // nothing measured yet — keep the floor
+  const double budget = budget_pct_.load(std::memory_order_relaxed);
+  const std::size_t base = base_every_.load(std::memory_order_relaxed);
+
+  std::size_t needed = 1;
+  if (budget > 0.0) {
+    // Overhead at N=1, as a percentage of the unit's wall time.
+    const double full_pct =
+        100.0 * spans_per_unit * cost_ns / (unit_seconds * 1e9);
+    const double n = std::ceil(full_pct / budget);
+    needed = n >= static_cast<double>(kMaxSampleEvery)
+                 ? kMaxSampleEvery
+                 : static_cast<std::size_t>(std::max(n, 1.0));
+  } else {
+    needed = kMaxSampleEvery;  // zero budget: record as little as allowed
+  }
+  const std::size_t effective = std::max(needed, base);
+  effective_every_.store(effective, std::memory_order_relaxed);
+
+  const SamplerGauges& gauges = SamplerGauges::get();
+  gauges.rate.set(1.0 / static_cast<double>(effective));
+  gauges.cost.set(cost_ns);
 }
 
 std::size_t TraceRecorder::event_count() const {

@@ -37,6 +37,15 @@ struct TraceEvent {
   std::uint32_t thread_id = 0;
 };
 
+/// Sampling policy. sample_every is the floor (1 = record every span);
+/// overhead_budget_pct caps how much of the instrumented workload's wall time
+/// span recording may consume — adapt() raises the effective 1-in-N above
+/// sample_every until the measured cost fits the budget.
+struct TraceConfig {
+  std::size_t sample_every = 1;
+  double overhead_budget_pct = 2.0;
+};
+
 /// Process-global span collector.
 class TraceRecorder {
  public:
@@ -60,6 +69,39 @@ class TraceRecorder {
   void record(std::string_view name, std::string_view category,
               std::int64_t begin_ns, std::int64_t end_ns) noexcept;
 
+  /// Sets the sampling floor and overhead budget. Resets the effective rate
+  /// back to config.sample_every; adapt() moves it from there.
+  void configure(TraceConfig config) noexcept;
+  [[nodiscard]] TraceConfig config() const noexcept;
+
+  /// One relaxed load + a thread-local countdown: true on every Nth call per
+  /// thread, where N is the current effective sample-every. Always false when
+  /// the recorder is disabled. TraceSpan consults this at construction.
+  [[nodiscard]] bool should_sample() noexcept;
+
+  /// Effective 1-in-N currently applied by should_sample(). Starts at
+  /// config().sample_every; adapt() raises it when the measured span-record
+  /// cost would blow the overhead budget (and lowers it back when it fits).
+  [[nodiscard]] std::size_t effective_sample_every() const noexcept {
+    return effective_every_.load(std::memory_order_relaxed);
+  }
+
+  /// EWMA cost of one record() call in ns, self-measured on every 64th
+  /// record. 0 until something has been measured.
+  [[nodiscard]] double measured_span_cost_ns() const noexcept {
+    return span_cost_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Overhead controller: given the workload's offered span load — how many
+  /// spans one "unit" of work would record unsampled, and that unit's wall
+  /// time in seconds — recompute the effective 1-in-N so
+  ///   spans_per_unit * span_cost / N  <=  budget% of unit_seconds,
+  /// never dropping below config().sample_every. Publishes the result as the
+  /// gnntrans_trace_effective_sample_rate / _span_cost_ns gauges. Cheap and
+  /// thread-safe; callers invoke it once per batch, not per span. No-op until
+  /// a span cost has been measured.
+  void adapt(double spans_per_unit, double unit_seconds) noexcept;
+
   /// Events currently retained across all rings (post-wrap this is capacity).
   [[nodiscard]] std::size_t event_count() const;
   /// Events lost to ring wrap-around since the last clear().
@@ -80,20 +122,25 @@ class TraceRecorder {
   Ring& ring_for_this_thread();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> base_every_{1};      ///< configured floor
+  std::atomic<std::size_t> effective_every_{1};  ///< what should_sample uses
+  std::atomic<double> budget_pct_{2.0};
+  std::atomic<double> span_cost_ns_{0.0};  ///< EWMA of record() self-timing
   struct Impl;
   [[nodiscard]] Impl& impl() const;
   mutable std::atomic<Impl*> impl_{nullptr};
 };
 
 /// RAII span: samples the clock at construction, records on destruction.
-/// If the recorder is disabled at construction the destructor does nothing
-/// (spans never straddle an enable).
+/// If the recorder is disabled — or the sampler skips this span — at
+/// construction, the destructor does nothing (spans never straddle an
+/// enable, and a skipped span costs one load + one thread-local decrement).
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name,
                      std::string_view category = "") noexcept {
     TraceRecorder& recorder = TraceRecorder::global();
-    if (!recorder.enabled()) return;
+    if (!recorder.should_sample()) return;
     name_ = name;
     category_ = category;
     begin_ns_ = recorder.now_ns();

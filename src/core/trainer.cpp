@@ -80,6 +80,7 @@ TrainReport train_model(nn::WireModel& model,
     char epoch_name[48];
     std::snprintf(epoch_name, sizeof(epoch_name), "train_epoch_%zu", epoch);
     const telemetry::TraceSpan epoch_span(epoch_name, "train");
+    const auto epoch_start = std::chrono::steady_clock::now();
     std::shuffle(order.begin(), order.end(), rng);
     double loss_sum = 0.0;
     for (std::size_t idx : order) {
@@ -97,6 +98,24 @@ TrainReport train_model(nn::WireModel& model,
     report.epoch_loss.push_back(mean_loss);
     TrainMetrics::get().epochs.inc();
     TrainMetrics::get().loss.set(mean_loss);
+
+    // One flight record per epoch: the black box shows training progress the
+    // same way it shows serving decisions (outcome "train", forward = epoch
+    // wall time).
+    telemetry::FlightRecorder& flight = telemetry::FlightRecorder::global();
+    if (flight.enabled()) {
+      telemetry::FlightRecord fr;
+      fr.set_net(epoch_name);
+      fr.set_outcome("train");
+      const double epoch_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        epoch_start)
+              .count();
+      fr.forward_us = static_cast<float>(epoch_seconds * 1e6);
+      fr.total_us = fr.forward_us;
+      flight.record(fr);
+    }
+
     if (config.on_epoch) config.on_epoch(epoch, mean_loss);
     lr *= config.lr_decay;
     optimizer.set_learning_rate(lr);

@@ -42,6 +42,18 @@
 //                       selects JSON, anything else Prometheus text
 //   --trace-out FILE    record TraceSpans and write Chrome trace JSON on
 //                       success (open in chrome://tracing or Perfetto)
+//   --trace-sample N    span sampling floor: record 1 in N spans (default 1);
+//                       the overhead controller may raise the effective N
+//   --trace-budget P    tracing overhead budget as a percent of serving wall
+//                       time (default 2); the sampler backs off to stay under
+//   --obs-port P        serve GET /metrics /metrics.json /healthz /readyz
+//                       /buildinfo /flight on P while the command runs
+//                       (0 = ephemeral; the bound port is logged)
+//   --obs-addr A        bind address for --obs-port (default 127.0.0.1)
+//   --flight-out FILE   write the flight-recorder JSON on exit; also installs
+//                       a fatal-signal handler that dumps the black box
+//   --stats-interval S  log serving-stat deltas (nets/s, fallback %, p50/p99)
+//                       every S seconds while the command runs (0 = off)
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
@@ -238,6 +250,7 @@ int cmd_train(const Args& args) {
     GNNTRANS_LOG_INFO("train", "epoch %zu loss %.5f", epoch, loss);
   };
   const auto estimator = core::WireTimingEstimator::train(records, opt);
+  telemetry::set_model_ready(true);
   estimator.save_file(args.require("model"));
   std::printf("trained %s (%zu parameters) in %.1f s -> %s\n",
               estimator.model().name().c_str(),
@@ -294,6 +307,7 @@ int cmd_predict(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
   const auto estimator =
       core::WireTimingEstimator::load_file(args.require("model"));
+  telemetry::set_model_ready(true);
   const auto nets = load_spef(args.require("spef"));
   const auto threads =
       static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
@@ -368,6 +382,7 @@ int cmd_sta(const Args& args) {
     const auto threads =
         static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
     estimator = core::WireTimingEstimator::load_file(*model_path);
+    telemetry::set_model_ready(true);
     core::EstimatorWireSource source(*estimator, parsed.design, library,
                                      threads);
     core::BatchOptions serving;
@@ -400,18 +415,19 @@ int cmd_sta(const Args& args) {
 }
 
 void usage() {
-  std::fprintf(stderr,
-               "usage: gnntrans_cli <generate|design|libgen|train|eval|predict|sta> "
-               "[--flag value ...]\n"
-               "telemetry flags (any command): --log-level "
-               "<trace|debug|info|warn|error|off> --log-json FILE "
-               "--metrics-out FILE --trace-out FILE\n"
-               "(see the header comment of "
-               "tools/gnntrans_cli.cpp for per-command flags)\n");
+  GNNTRANS_LOG_ERROR(
+      "cli",
+      "usage: gnntrans_cli <generate|design|libgen|train|eval|predict|sta> "
+      "[--flag value ...]; telemetry flags (any command): --log-level "
+      "<trace|debug|info|warn|error|off> --log-json FILE --metrics-out FILE "
+      "--trace-out FILE --obs-port P --flight-out FILE --stats-interval S "
+      "(see the header comment of tools/gnntrans_cli.cpp for per-command "
+      "flags)");
 }
 
-/// Applies --log-level / --log-json / --trace-out before command dispatch.
-/// Exits 1 on an unknown level name, 2 on an unwritable log file.
+/// Applies --log-level / --log-json / --trace-out / --trace-sample /
+/// --trace-budget / --flight-out before command dispatch. Exits 1 on an
+/// unknown level name, 2 on an unwritable log file.
 void setup_telemetry(const Args& args) {
   if (const auto level_name = args.get("log-level")) {
     bool ok = false;
@@ -431,7 +447,47 @@ void setup_telemetry(const Args& args) {
       std::exit(2);
     }
   }
+  telemetry::TraceConfig trace_cfg;
+  trace_cfg.sample_every =
+      static_cast<std::size_t>(std::max(1L, args.get_long("trace-sample", 1)));
+  trace_cfg.overhead_budget_pct = args.get_double("trace-budget", 2.0);
+  telemetry::TraceRecorder::global().configure(trace_cfg);
   if (args.get("trace-out")) telemetry::TraceRecorder::global().enable();
+  if (const auto flight_path = args.get("flight-out"))
+    telemetry::install_flight_signal_dump(flight_path->c_str());
+}
+
+/// Live observability started from flags. The members shut themselves down
+/// when this goes out of scope at the end of main(), after the command and
+/// the telemetry flush have finished.
+struct Observability {
+  std::unique_ptr<telemetry::ObsServer> server;
+  std::unique_ptr<telemetry::StatsReporter> reporter;
+};
+
+Observability start_observability(const Args& args) {
+  Observability obs;
+  if (args.get("obs-port")) {
+    telemetry::ObsServerConfig cfg;
+    cfg.addr = args.get("obs-addr").value_or(cfg.addr);
+    cfg.port = static_cast<std::uint16_t>(args.get_long("obs-port", 0));
+    obs.server = std::make_unique<telemetry::ObsServer>(cfg);
+    try {
+      obs.server->start();
+    } catch (const std::exception& e) {
+      GNNTRANS_LOG_ERROR("cli", "%s", e.what());
+      std::exit(2);
+    }
+  } else if (args.get("obs-addr")) {
+    GNNTRANS_LOG_WARN("cli", "--obs-addr has no effect without --obs-port");
+  }
+  const double interval = args.get_double("stats-interval", 0.0);
+  if (interval > 0.0) {
+    obs.reporter = std::make_unique<telemetry::StatsReporter>(
+        telemetry::StatsReporterConfig{interval});
+    obs.reporter->start();
+  }
+  return obs;
 }
 
 /// Writes --metrics-out / --trace-out files after a successful command.
@@ -465,6 +521,19 @@ int flush_telemetry(const Args& args) {
                          trace_path->c_str());
     }
   }
+  if (const auto flight_path = args.get("flight-out")) {
+    std::ofstream out(*flight_path);
+    if (!out) {
+      GNNTRANS_LOG_ERROR("cli", "cannot open %s for write", flight_path->c_str());
+      rc = 2;
+    } else {
+      telemetry::FlightRecorder::global().write_json(out);
+      GNNTRANS_LOG_DEBUG("cli", "wrote %llu flight records to %s",
+                         static_cast<unsigned long long>(
+                             telemetry::FlightRecorder::global().recorded_total()),
+                         flight_path->c_str());
+    }
+  }
   return rc;
 }
 
@@ -478,6 +547,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args(argc, argv);
   setup_telemetry(args);
+  const Observability obs = start_observability(args);
   int rc = -1;
   try {
     if (cmd == "generate") rc = cmd_generate(args);
