@@ -1,0 +1,172 @@
+#include "core/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/estimator.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "core/thread_pool.hpp"
+
+namespace gnntrans::core {
+
+namespace {
+
+/// Autoscale observability, registered once. The registry has no label
+/// support, so the {direction} breakdown follows the repo convention of one
+/// suffixed counter per value (like gnntrans_serving_degraded_*_total).
+struct AutoscaleMetrics {
+  telemetry::Gauge target = telemetry::MetricsRegistry::global().gauge(
+      "gnntrans_serving_pool_target_threads",
+      "Worker count the autoscaler wants for the next batch");
+  telemetry::Counter grow = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_autoscale_decisions_grow_total",
+      "Autoscale decisions that grew the pool");
+  telemetry::Counter shrink = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_autoscale_decisions_shrink_total",
+      "Autoscale decisions that shrank the pool");
+  telemetry::Counter hold = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_autoscale_decisions_hold_total",
+      "Autoscale decisions that kept the pool size");
+
+  static const AutoscaleMetrics& get() {
+    static const AutoscaleMetrics metrics;
+    return metrics;
+  }
+};
+
+std::size_t ceil_positive(double x) {
+  return static_cast<std::size_t>(std::ceil(std::max(0.0, x)));
+}
+
+}  // namespace
+
+PoolAutoscaler::PoolAutoscaler(AutoscalerConfig config) : config_(config) {
+  config_.min_threads = std::max<std::size_t>(1, config_.min_threads);
+  if (config_.max_threads == 0)
+    config_.max_threads = ThreadPool::hardware_threads();
+  config_.max_threads = std::max(config_.max_threads, config_.min_threads);
+  config_.ewma_alpha = std::clamp(config_.ewma_alpha, 0.0, 1.0);
+}
+
+void PoolAutoscaler::observe(const InferenceStats& batch) {
+  if (batch.nets == 0) return;
+  // latency.sum() is the exact serial work of the batch (every per-net wall
+  // latency is observed into the histogram), so sum/nets is the mean service
+  // time and sum/(wall*threads) is the busy fraction of the pool.
+  const double serial_seconds = batch.latency.sum();
+  const double per_net = serial_seconds / static_cast<double>(batch.nets);
+  ewma_net_seconds_ =
+      warm_ ? config_.ewma_alpha * per_net +
+                  (1.0 - config_.ewma_alpha) * ewma_net_seconds_
+            : per_net;
+  warm_ = true;
+  if (batch.wall_seconds > 0.0 && batch.threads > 0)
+    utilization_ = std::clamp(
+        serial_seconds /
+            (batch.wall_seconds * static_cast<double>(batch.threads)),
+        0.0, 1.0);
+}
+
+AutoscaleDecision PoolAutoscaler::decide(std::size_t offered,
+                                         std::size_t current) {
+  current = std::max<std::size_t>(1, current);
+  AutoscaleDecision d;
+  d.previous = current;
+  d.target = current;
+  d.utilization = utilization_;
+  d.predicted_seconds = static_cast<double>(offered) * ewma_net_seconds_;
+
+  const std::size_t lo = config_.min_threads;
+  // Never more workers than nets: extra workers can only idle.
+  const std::size_t hi =
+      std::max(lo, std::min(config_.max_threads,
+                            offered > 0 ? offered : std::size_t{1}));
+
+  // Demand: workers needed to drain the offered load within the batch budget.
+  std::size_t demand = current;
+  if (warm_ && config_.target_batch_seconds > 0.0)
+    demand = std::max<std::size_t>(
+        1, ceil_positive(d.predicted_seconds / config_.target_batch_seconds));
+  // Capacity: growth is capped by the workers that were provably busy last
+  // batch (times the probe headroom), so one decision at most roughly
+  // doubles a saturated pool and never grows an idle one.
+  const std::size_t capacity = std::max<std::size_t>(
+      1, ceil_positive(utilization_ * static_cast<double>(current) *
+                       config_.grow_headroom));
+  std::size_t ideal =
+      demand > current ? std::min(demand, std::max(current, capacity)) : demand;
+  ideal = std::clamp(ideal, lo, hi);
+  d.ideal = ideal;
+
+  if (current < lo || current > hi) {
+    // Hard bounds beat hysteresis: a pool outside [lo, hi] moves immediately.
+    d.target = std::clamp(current, lo, hi);
+    d.reason = "bounds";
+  } else if (!warm_) {
+    d.reason = "cold";
+  } else if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    d.reason = "cooldown";
+  } else if (ideal > current) {
+    if (utilization_ < config_.min_grow_utilization) {
+      d.reason = "idle-pool";
+    } else if (static_cast<double>(ideal) <
+               static_cast<double>(current) * config_.grow_deadband) {
+      d.reason = "deadband";
+    } else {
+      d.target = ideal;
+    }
+  } else if (ideal < current) {
+    if (static_cast<double>(ideal) >
+        static_cast<double>(current) * config_.shrink_deadband) {
+      d.reason = "deadband";
+    } else {
+      d.target = ideal;
+    }
+  } else {
+    d.reason = "steady";
+  }
+
+  if (d.target > d.previous) {
+    d.direction = ScaleDirection::kGrow;
+  } else if (d.target < d.previous) {
+    d.direction = ScaleDirection::kShrink;
+  }
+  if (d.resized()) {
+    d.reason = to_string(d.direction);
+    cooldown_left_ = config_.cooldown_batches;
+    ++resizes_;
+  }
+
+  const AutoscaleMetrics& metrics = AutoscaleMetrics::get();
+  metrics.target.set(static_cast<double>(d.target));
+  switch (d.direction) {
+    case ScaleDirection::kGrow: metrics.grow.inc(); break;
+    case ScaleDirection::kShrink: metrics.shrink.inc(); break;
+    case ScaleDirection::kHold: metrics.hold.inc(); break;
+  }
+
+  if (d.resized()) {
+    telemetry::FlightRecorder& flight = telemetry::FlightRecorder::global();
+    if (flight.enabled()) {
+      telemetry::FlightRecord fr;
+      fr.set_net("pool_autoscale");
+      fr.set_outcome(to_string(d.direction));
+      char transition[24];
+      std::snprintf(transition, sizeof(transition), "%zu->%zu", d.previous,
+                    d.target);
+      fr.set_error(transition);  // repurposed detail field, like train epochs
+      fr.total_us = static_cast<float>(d.predicted_seconds * 1e6);
+      flight.record(fr);
+    }
+    GNNTRANS_LOG_DEBUG(
+        "autoscale",
+        "%s %zu -> %zu (offered load %.1f ms predicted, utilization %.0f%%)",
+        to_string(d.direction), d.previous, d.target,
+        d.predicted_seconds * 1e3, 100.0 * d.utilization);
+  }
+  return d;
+}
+
+}  // namespace gnntrans::core

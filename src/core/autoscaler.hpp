@@ -1,0 +1,138 @@
+/// \file autoscaler.hpp
+/// Metrics-driven pool autoscaling for the batched serving path.
+///
+/// Inside an incremental optimization loop the offered load per STA level
+/// swings from a handful of nets to thousands; a pinned worker count either
+/// wastes cores on the small levels or queues latency on the big ones.
+/// PoolAutoscaler is a hysteresis controller that runs *between* batches:
+/// observe() digests each finished batch's InferenceStats (per-net latency
+/// histogram, wall time, worker count) and decide() picks a target worker
+/// count in [min_threads, max_threads] for the next batch from three inputs —
+/// offered load, the EWMA of per-net service time, and the measured pool
+/// utilization.
+///
+/// Controller law (see DESIGN.md §3e for the derivation):
+///   demand   D = ceil(offered * s_ewma / target_batch_seconds)
+///   capacity C = ceil(utilization * current * grow_headroom)
+///   ideal    = D > current ? min(D, max(current, C)) : D, clamped to
+///              [min_threads, min(max_threads, offered)]
+/// Growth is multiplicative-increase (capped by C, i.e. by workers that were
+/// provably busy), shrink goes straight to demand. Grow/shrink deadbands and
+/// a cooldown of cooldown_batches decisions keep the pool from flapping.
+///
+/// The controller only *decides*; the caller applies the decision by resizing
+/// its ThreadPool and per-worker workspace vector in lockstep (see
+/// EstimatorWireSource::time_nets). Every decision is observable:
+/// gnntrans_serving_pool_target_threads (gauge),
+/// gnntrans_serving_autoscale_decisions_{grow,shrink,hold}_total (counters),
+/// and one flight-recorder event per resize. Decisions never affect results:
+/// each net's forward pass is a fixed arithmetic sequence, so outputs are
+/// bitwise-identical across any resize schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gnntrans::core {
+
+struct InferenceStats;
+
+/// Hysteresis-controller knobs. Defaults favor stability over reaction speed:
+/// one resize per cooldown window, growth only into demonstrated headroom.
+struct AutoscalerConfig {
+  /// Hard floor of the target worker count.
+  std::size_t min_threads = 1;
+  /// Hard ceiling; 0 means ThreadPool::hardware_threads().
+  std::size_t max_threads = 0;
+  /// Drain budget per batch: demand is the worker count that would finish the
+  /// offered load within this many seconds at the observed per-net cost.
+  double target_batch_seconds = 2e-3;
+  /// Smoothing factor of the per-net service-time EWMA (1 = last batch only).
+  double ewma_alpha = 0.3;
+  /// Grow only when ideal >= current * grow_deadband (and ideal > current).
+  double grow_deadband = 1.25;
+  /// Shrink only when ideal <= current * shrink_deadband.
+  double shrink_deadband = 0.6;
+  /// Growth probe ceiling: at most ceil(utilization * current * grow_headroom)
+  /// workers after a grow, so an oversubscribed pool (idle workers) never
+  /// grows past what the hardware actually served.
+  double grow_headroom = 2.0;
+  /// Never grow when the last batch kept less than this fraction of the pool
+  /// busy — idle workers mean the bottleneck is elsewhere.
+  double min_grow_utilization = 0.5;
+  /// Decisions to hold after a resize before the next one may fire.
+  std::size_t cooldown_batches = 2;
+};
+
+enum class ScaleDirection : std::uint8_t { kHold = 0, kGrow = 1, kShrink = 2 };
+
+[[nodiscard]] constexpr const char* to_string(ScaleDirection d) noexcept {
+  switch (d) {
+    case ScaleDirection::kHold: return "hold";
+    case ScaleDirection::kGrow: return "grow";
+    case ScaleDirection::kShrink: return "shrink";
+  }
+  return "unknown";
+}
+
+/// One decide() outcome, with the controller internals that produced it so
+/// logs/benches can explain every resize.
+struct AutoscaleDecision {
+  std::size_t target = 1;    ///< worker count the caller should resize to
+  std::size_t previous = 1;  ///< worker count going in
+  ScaleDirection direction = ScaleDirection::kHold;
+  std::size_t ideal = 1;          ///< controller output before deadbands
+  double predicted_seconds = 0.0; ///< offered * service-time EWMA
+  double utilization = 0.0;       ///< busy fraction of the last batch's pool
+  /// Why the pool held (or moved): "cold", "cooldown", "deadband",
+  /// "idle-pool", "steady", "bounds", "grow", "shrink".
+  const char* reason = "";
+
+  [[nodiscard]] bool resized() const noexcept {
+    return direction != ScaleDirection::kHold;
+  }
+};
+
+/// The controller. Not thread-safe: call observe()/decide() from the one
+/// thread that drives batches (the STA loop / CLI batch loop).
+class PoolAutoscaler {
+ public:
+  explicit PoolAutoscaler(AutoscalerConfig config = {});
+
+  [[nodiscard]] const AutoscalerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Digests one finished batch: updates the per-net service-time EWMA from
+  /// the latency histogram and the utilization estimate
+  /// sum(per-net latency) / (wall * threads). Empty batches are ignored.
+  void observe(const InferenceStats& batch);
+
+  /// Target worker count for the next batch of \p offered nets given
+  /// \p current workers. Publishes the decision metrics and, when the pool
+  /// should move, a flight-recorder event; the caller performs the actual
+  /// pool + workspace resize.
+  [[nodiscard]] AutoscaleDecision decide(std::size_t offered,
+                                         std::size_t current);
+
+  /// Per-net service-time EWMA in seconds (0 until the first observe()).
+  [[nodiscard]] double service_time_ewma() const noexcept {
+    return ewma_net_seconds_;
+  }
+  /// Utilization of the most recently observed batch.
+  [[nodiscard]] double last_utilization() const noexcept {
+    return utilization_;
+  }
+  /// Decisions that moved the pool (grow + shrink) since construction.
+  [[nodiscard]] std::size_t resize_count() const noexcept { return resizes_; }
+
+ private:
+  AutoscalerConfig config_;
+  double ewma_net_seconds_ = 0.0;
+  double utilization_ = 0.0;
+  bool warm_ = false;  ///< at least one batch observed
+  std::size_t cooldown_left_ = 0;
+  std::size_t resizes_ = 0;
+};
+
+}  // namespace gnntrans::core

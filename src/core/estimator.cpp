@@ -55,6 +55,9 @@ struct ServingMetrics {
   telemetry::Counter slow_nets = telemetry::MetricsRegistry::global().counter(
       "gnntrans_serving_slow_nets_total",
       "Nets exceeding the slow-query latency budget");
+  telemetry::Counter slew_clamped = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_serving_slew_clamped_total",
+      "Non-failed sinks whose slew was raised to the NLDM floor for STA");
   /// Degraded nets by failure reason, indexed by ErrorCode.
   std::array<telemetry::Counter, kErrorCodeCount> degraded_reason =
       make_reason_counters();
@@ -147,6 +150,7 @@ void InferenceStats::merge(const InferenceStats& other) {
   fallback_nets += other.fallback_nets;
   failed_nets += other.failed_nets;
   slow_nets += other.slow_nets;
+  slew_clamped += other.slew_clamped;
   for (std::size_t c = 0; c < kErrorCodeCount; ++c)
     degraded_by_reason[c] += other.degraded_by_reason[c];
 }
@@ -184,6 +188,11 @@ std::string InferenceStats::summary() const {
       first = false;
     }
     if (!first) out += "]";
+  }
+  if (slew_clamped > 0) {
+    std::snprintf(buf, sizeof(buf), "; %zu slew clamp%s", slew_clamped,
+                  slew_clamped == 1 ? "" : "s");
+    out += buf;
   }
   return out;
 }
@@ -550,7 +559,19 @@ void EstimatorWireSource::set_threads(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
   if (threads == threads_) return;
   threads_ = threads;
-  pool_.reset();  // recreated lazily at the next batched call
+  if (pool_) pool_->resize(threads_);  // else created lazily at the next batch
+  // Trim per-worker workspaces above the new count so a shrink releases
+  // their arenas instead of pinning the peak-size memory forever; growth
+  // happens lazily inside estimate_batch.
+  if (workspaces_.size() > threads_) workspaces_.resize(threads_);
+}
+
+void EstimatorWireSource::enable_autoscale(const AutoscalerConfig& config) {
+  autoscaler_ = std::make_unique<PoolAutoscaler>(config);
+  // Start inside the controller's bounds; the first decide() would force the
+  // move anyway, this just avoids one oversized/undersized batch.
+  set_threads(std::clamp(threads_, autoscaler_->config().min_threads,
+                         autoscaler_->config().max_threads));
 }
 
 features::NetContext EstimatorWireSource::context_for(
@@ -580,34 +601,49 @@ features::NetContext EstimatorWireSource::context_for(
   return ctx;
 }
 
-namespace {
-
 std::vector<sim::SinkTiming> to_sink_timings(
-    const std::vector<PathEstimate>& estimates) {
+    const std::vector<PathEstimate>& estimates, std::size_t* clamped) {
+  constexpr double kSlewFloor = 1e-12;  // guards downstream NLDM lookups
   std::vector<sim::SinkTiming> out;
   out.reserve(estimates.size());
   for (const PathEstimate& pe : estimates) {
     sim::SinkTiming st;
     st.sink = pe.sink;
     st.delay = pe.delay;
-    st.slew = std::max(1e-12, pe.slew);  // guard downstream NLDM lookups
-    st.settled = true;
+    st.slew = pe.slew;
+    // A failed path carries no estimate: hand its zeros to STA *unsettled*
+    // so arrivals downstream are flagged, and leave the values unclamped —
+    // clamping would dress a failure up as a plausible timing.
+    st.settled = pe.provenance != EstimateProvenance::kFailed;
+    if (st.settled && st.slew < kSlewFloor) {
+      st.slew = kSlewFloor;
+      if (clamped) ++*clamped;  // degenerate model slews are counted, not hidden
+    }
     out.push_back(st);
   }
   return out;
 }
 
-}  // namespace
-
 std::vector<sim::SinkTiming> EstimatorWireSource::time_net(
     const rcnet::RcNet& net, double input_slew, double driver_resistance) {
   const features::NetContext ctx =
       context_for(net, input_slew, driver_resistance);
-  return to_sink_timings(estimator_.estimate(net, ctx));
+  std::size_t clamped = 0;
+  auto out = to_sink_timings(estimator_.estimate(net, ctx), &clamped);
+  if (clamped > 0) {
+    stats_.slew_clamped += clamped;
+    ServingMetrics::get().slew_clamped.inc(clamped);
+  }
+  return out;
 }
 
 std::vector<std::vector<sim::SinkTiming>> EstimatorWireSource::time_nets(
     std::span<const netlist::WireTimingRequest> requests) {
+  if (autoscaler_) {
+    const AutoscaleDecision d = autoscaler_->decide(requests.size(), threads_);
+    if (d.resized()) set_threads(d.target);  // pool + workspaces in lockstep
+  }
+
   std::vector<features::NetContext> contexts;
   contexts.reserve(requests.size());
   std::vector<NetBatchItem> items;
@@ -621,19 +657,37 @@ std::vector<std::vector<sim::SinkTiming>> EstimatorWireSource::time_nets(
   if (threads_ > 1 && !pool_) pool_ = std::make_unique<ThreadPool>(threads_);
   BatchOptions options = serving_options_;  // degradation/deadline/slow-log
   options.threads = threads_;
-  options.pool = pool_.get();
+  options.pool = threads_ > 1 ? pool_.get() : nullptr;
   options.workspaces = &workspaces_;
-  options.outcomes = nullptr;
+  std::vector<NetOutcome> outcomes;
+  options.outcomes = &outcomes;
 
   InferenceStats batch_stats;
   const std::vector<std::vector<PathEstimate>> estimates =
       estimator_.estimate_batch(items, options, &batch_stats);
-  stats_.merge(batch_stats);
+  if (autoscaler_) autoscaler_->observe(batch_stats);
 
   std::vector<std::vector<sim::SinkTiming>> out;
   out.reserve(estimates.size());
-  for (const std::vector<PathEstimate>& e : estimates)
-    out.push_back(to_sink_timings(e));
+  std::size_t clamped = 0;
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    // A net that fell off the whole degradation ladder must never feed a
+    // silent delay=0/settled arrival into STA: its sinks go in unsettled and
+    // the failure is WARN-logged with the ladder's reason.
+    if (i < outcomes.size() &&
+        outcomes[i].provenance == EstimateProvenance::kFailed)
+      GNNTRANS_LOG_WARN(
+          "sta", "net '%s' failed wire timing (%s: %s); sinks handed to STA "
+          "unsettled",
+          requests[i].net->name.c_str(), to_string(outcomes[i].error),
+          outcomes[i].message.c_str());
+    out.push_back(to_sink_timings(estimates[i], &clamped));
+  }
+  if (clamped > 0) {
+    batch_stats.slew_clamped = clamped;
+    ServingMetrics::get().slew_clamped.inc(clamped);
+  }
+  stats_.merge(batch_stats);
   return out;
 }
 

@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/autoscaler.hpp"
 #include "core/status.hpp"
 #include "core/telemetry/metrics.hpp"
 #include "core/thread_pool.hpp"
@@ -104,6 +105,10 @@ struct InferenceStats {
   std::size_t fallback_nets = 0;  ///< degraded to the analytic baseline
   std::size_t failed_nets = 0;    ///< no estimate possible (zeroed outputs)
   std::size_t slow_nets = 0;      ///< exceeded the slow-query latency budget
+  /// Non-failed sinks whose slew was raised to the 1e-12 NLDM floor on the
+  /// way into STA — a nonzero count means the model emitted a degenerate
+  /// (<= 0) slew that the clamp would otherwise have masked silently.
+  std::size_t slew_clamped = 0;
   /// Degraded (fallback or failed) nets by ErrorCode index.
   std::array<std::size_t, kErrorCodeCount> degraded_by_reason{};
 
@@ -234,11 +239,26 @@ class WireTimingEstimator {
   TrainReport train_report_;
 };
 
+/// Converts per-path estimates into the SinkTimings run_sta consumes. Paths
+/// with kFailed provenance arrive *unsettled* with their raw (zero) values —
+/// never a silent zero-delay arrival; STA flags everything downstream of
+/// them. Non-failed paths get the 1e-12 slew floor that guards NLDM lookups,
+/// and every clamp is tallied into \p clamped (when non-null) so a model
+/// emitting degenerate slews is visible instead of silently masked.
+[[nodiscard]] std::vector<sim::SinkTiming> to_sink_timings(
+    const std::vector<PathEstimate>& estimates,
+    std::size_t* clamped = nullptr);
+
 /// Adapts a trained estimator (+ the cell library for load contexts) to the
 /// STA engine's WireTimingSource interface. With threads > 1 the batched
 /// time_nets entry point fans a level's nets out over a lazily created
 /// ThreadPool; per-worker workspaces persist across batches, so arenas stay
 /// warm for the whole STA run. stats() accumulates over all batches served.
+///
+/// With enable_autoscale, a PoolAutoscaler picks the worker count before
+/// every batch from the offered level size and the observed latency
+/// histogram; the pool and the per-worker workspace vector resize in
+/// lockstep, and arrivals stay bitwise-identical across any resize schedule.
 class EstimatorWireSource final : public netlist::WireTimingSource {
  public:
   EstimatorWireSource(const WireTimingEstimator& estimator,
@@ -247,7 +267,31 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
                       std::size_t threads = 1);
 
   /// Worker count used by time_nets; takes effect from the next batch.
+  /// Shrinking also trims the per-worker workspaces above the new count, so
+  /// their arenas are released instead of pinning peak memory forever.
   void set_threads(std::size_t threads);
+
+  /// Turns on metrics-driven pool autoscaling: before each batched call the
+  /// controller decides a worker count in [config.min_threads,
+  /// config.max_threads] and this source applies it (set_threads semantics);
+  /// after the call it feeds the batch's InferenceStats back to the
+  /// controller. An explicit set_threads still works and becomes the
+  /// controller's new starting point.
+  void enable_autoscale(const AutoscalerConfig& config);
+
+  /// The controller, or nullptr when autoscaling is off.
+  [[nodiscard]] const PoolAutoscaler* autoscaler() const noexcept {
+    return autoscaler_.get();
+  }
+
+  /// Current per-worker workspace count (grows with batches, trimmed on
+  /// shrink — observability for the lockstep-resize invariant).
+  [[nodiscard]] std::size_t workspace_count() const noexcept {
+    return workspaces_.size();
+  }
+
+  /// Worker count the next batch will use.
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
   /// Degradation/deadline/slow-log knobs applied to every batched call.
   /// The threads/pool/workspaces/outcomes fields of \p options are managed
@@ -284,6 +328,7 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
   std::size_t threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;        ///< created on first batched call
   std::vector<nn::Workspace> workspaces_;   ///< per-worker, reused per batch
+  std::unique_ptr<PoolAutoscaler> autoscaler_;  ///< set by enable_autoscale
   BatchOptions serving_options_;            ///< degradation/deadline template
   InferenceStats stats_;
 };

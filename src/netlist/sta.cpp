@@ -83,13 +83,16 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
   StaResult result;
   result.arrival.assign(n, 0.0);
   result.slew.assign(n, config.launch_slew);
+  result.arrival_settled.assign(n, 1);
   result.critical_net.assign(n, StaResult::kNone);
   result.critical_wire_delay.assign(n, 0.0);
   result.gate_delay.assign(n, 0.0);
 
-  // Best (latest) arrival seen at each instance's data input so far.
+  // Best (latest) arrival seen at each instance's data input so far, and
+  // whether that arrival is trustworthy (critical fanin settled all the way).
   std::vector<double> in_arrival(n, -1.0);
   std::vector<double> in_slew(n, config.launch_slew);
+  std::vector<std::uint8_t> in_settled(n, 1);
 
   // Process instances level by level; fanin always comes from lower levels.
   std::vector<InstanceId> order(n);
@@ -140,6 +143,7 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
         // Endpoint: arrival at the D pin is what Table V compares.
         result.arrival[v] = std::max(0.0, in_arrival[v]);
         result.slew[v] = in_slew[v];
+        result.arrival_settled[v] = in_settled[v];
         continue;
       }
       const DesignNet& net = design.nets[net_idx];
@@ -159,6 +163,7 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
         result.gate_delay[v] = c.arc.delay.lookup(pin_slew, load_cap);
         result.arrival[v] = pin_arrival + result.gate_delay[v];
         result.slew[v] = c.arc.output_slew.lookup(pin_slew, load_cap);
+        result.arrival_settled[v] = in_settled[v];
       }
       requests.push_back({&net.rc, result.slew[v], c.drive_resistance});
       request_owner.push_back(v);
@@ -186,10 +191,17 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
       const std::vector<sim::SinkTiming>& sinks = sink_batches[r];
       for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
         const InstanceId load = net.loads[s];
+        if (!sinks[s].settled) ++result.unsettled_sinks;
         const double arr = result.arrival[v] + sinks[s].delay;
         if (arr > in_arrival[load]) {
           in_arrival[load] = arr;
           in_slew[load] = sinks[s].slew;
+          // Taint tracking: an unsettled sink (a failed estimator net's zero
+          // delay, or a transient that never crossed 80%) still propagates
+          // its lower-bound arrival, but everything downstream is flagged so
+          // the corruption is never silent.
+          in_settled[load] =
+              sinks[s].settled && result.arrival_settled[v] ? 1 : 0;
           result.critical_net[load] = net_idx;
           result.critical_wire_delay[load] = sinks[s].delay;
         }
@@ -202,6 +214,16 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
   result.gate_seconds = seconds_since(gate_start) - wire_total;
   StaMetrics::get().wire_seconds.set(result.wire_seconds);
   StaMetrics::get().gate_seconds.set(result.gate_seconds);
+
+  if (result.unsettled_sinks > 0) {
+    std::size_t tainted = 0;
+    for (const std::uint8_t s : result.arrival_settled) tainted += s == 0;
+    GNNTRANS_LOG_WARN(
+        "sta",
+        "%zu wire sink(s) arrived unsettled; %zu downstream arrival(s) are "
+        "optimistic lower bounds (flagged in arrival_settled)",
+        result.unsettled_sinks, tainted);
+  }
 
   result.endpoint_arrival.reserve(design.endpoints.size());
   for (InstanceId e : design.endpoints)

@@ -91,6 +91,17 @@ struct StaResult {
   /// Arrival at each endpoint, aligned with design.endpoints.
   std::vector<double> endpoint_arrival;
 
+  /// Per-instance settledness of the arrival: 0 when the critical path ran
+  /// through a wire sink its source could not settle — an estimator net that
+  /// fell off the degradation ladder (kFailed, delay 0), or a transient
+  /// window that never crossed 80% of vdd. Such arrivals are optimistic
+  /// lower bounds, not timing; run_sta propagates the taint downstream and
+  /// WARNs instead of silently accepting the zero delay. Filled by run_sta;
+  /// incremental re-timing (IncrementalSta) keeps the full-pass values.
+  std::vector<std::uint8_t> arrival_settled;
+  /// Wire sinks delivered with settled == false across the whole run.
+  std::size_t unsettled_sinks = 0;
+
   // Critical-path trace (per instance): which fanin determined the arrival.
   static constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
   /// Net that delivered the critical input (kNone for startpoints).

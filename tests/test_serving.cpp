@@ -15,6 +15,7 @@
 
 #include "cell/library.hpp"
 #include "core/estimator.hpp"
+#include "core/fault_injector.hpp"
 #include "core/telemetry/telemetry.hpp"
 #include "features/dataset.hpp"
 #include "netlist/generate.hpp"
@@ -284,6 +285,81 @@ TEST_F(ServingTest, ArenaReusesBuffersAcrossBatches) {
   EXPECT_EQ(second.arena_fresh_allocs, 0u);
   EXPECT_GT(second.arena_reused_buffers, 0u);
   EXPECT_EQ(second.arena_peak_bytes, first.arena_peak_bytes);
+}
+
+TEST(ToSinkTimings, ClampsOnlySettledPathsAndCounts) {
+  std::vector<core::PathEstimate> estimates(3);
+  estimates[0] = {0, -4.2e-12, 1.0e-12, core::EstimateProvenance::kModel};
+  estimates[1] = {1, 2.0e-10, 3.0e-12, core::EstimateProvenance::kModel};
+  estimates[2] = {2, 0.0, 0.0, core::EstimateProvenance::kFailed};
+
+  std::size_t clamped = 0;
+  const auto sinks = core::to_sink_timings(estimates, &clamped);
+  ASSERT_EQ(sinks.size(), 3u);
+
+  // Degenerate (negative) slew on a settled path: raised to the NLDM floor
+  // and counted — the clamp must never be a silent mask.
+  EXPECT_TRUE(sinks[0].settled);
+  EXPECT_DOUBLE_EQ(sinks[0].slew, 1e-12);
+  EXPECT_EQ(clamped, 1u);
+
+  EXPECT_TRUE(sinks[1].settled);
+  EXPECT_DOUBLE_EQ(sinks[1].slew, 2.0e-10);
+
+  // kFailed: raw zeros, unsettled, and NOT clamped — a floored slew would
+  // dress the failure up as a plausible timing value.
+  EXPECT_FALSE(sinks[2].settled);
+  EXPECT_DOUBLE_EQ(sinks[2].slew, 0.0);
+  EXPECT_DOUBLE_EQ(sinks[2].delay, 0.0);
+}
+
+TEST_F(ServingTest, FailedNetsReachStaUnsettledWithWarn) {
+  netlist::DesignGenConfig cfg;
+  cfg.seed = 9;
+  cfg.levels = 3;
+  cfg.cells_per_level = 5;
+  cfg.startpoints = 3;
+  const netlist::Design design =
+      netlist::generate_design(cfg, *library_, "failed_sta");
+
+  // Every (site, net) decision faults, and the ladder has no analytic rung:
+  // every net the estimator serves comes back kFailed with zeroed sinks.
+  core::FaultInjector::Config fcfg;
+  fcfg.probability = 1.0;
+  fcfg.seed = 3;
+  core::FaultInjector::global().configure(fcfg);
+
+  core::EstimatorWireSource source(*estimator_, design, *library_, 1);
+  core::BatchOptions serving;
+  serving.fallback = core::FallbackPolicy::kNone;
+  source.set_serving_options(serving);
+
+  // Capture WARNs: swap the global logger's sinks for a string stream.
+  auto capture = std::make_shared<std::ostringstream>();
+  auto& logger = telemetry::Logger::global();
+  logger.clear_sinks();
+  logger.add_sink(std::make_shared<telemetry::StreamSink>(*capture));
+  const netlist::StaResult sta = netlist::run_sta(design, *library_, source);
+  logger.clear_sinks();
+  logger.add_sink(std::make_shared<telemetry::StderrSink>());
+  core::FaultInjector::global().disarm();
+
+  ASSERT_GT(source.stats().failed_nets, 0u);
+  // The regression this pins: before outcome threading, every kFailed sink
+  // was stamped settled and its zero delay silently became an STA arrival.
+  EXPECT_GT(sta.unsettled_sinks, 0u);
+  std::size_t tainted = 0;
+  for (const std::uint8_t s : sta.arrival_settled) tainted += s == 0;
+  EXPECT_GT(tainted, 0u);
+
+  // Both the per-net WARN (net name + reason) and the run summary fired.
+  const std::string log = capture->str();
+  EXPECT_NE(log.find("failed wire timing"), std::string::npos) << log;
+  EXPECT_NE(log.find("unsettled"), std::string::npos);
+
+  // Failed sinks carry their raw zeros: the slew floor must not have
+  // touched them (it only guards settled paths).
+  EXPECT_EQ(source.stats().slew_clamped, 0u);
 }
 
 TEST_F(ServingTest, StaBatchedEstimatorIsThreadInvariant) {

@@ -227,6 +227,28 @@ TEST(HistogramData, MergeIntoEmptyAdoptsBoundsAndMismatchThrows) {
   EXPECT_THROW(incompatible.merge(custom), std::invalid_argument);
 }
 
+TEST(HistogramData, MergeOfEmptyOtherIsANoopForAnyBounds) {
+  // The reverse adoption direction: a populated histogram absorbing a
+  // never-observed one keeps its own bounds and tallies, regardless of what
+  // bounds the empty side was constructed with.
+  HistogramData populated({1.0, 2.0});
+  populated.observe(1.5);
+  HistogramData empty({42.0});
+  populated.merge(empty);
+  EXPECT_EQ(populated.count(), 1u);
+  EXPECT_DOUBLE_EQ(populated.sum(), 1.5);
+  ASSERT_EQ(populated.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(populated.bounds()[0], 1.0);
+
+  // Empty-into-empty with mismatched bounds: also fine, still empty. This is
+  // the InferenceStats::merge cold-start path (default-constructed stats
+  // merging a batch whose histogram never observed anything).
+  HistogramData lhs({1.0});
+  HistogramData rhs({2.0});
+  lhs.merge(rhs);
+  EXPECT_EQ(lhs.count(), 0u);
+}
+
 TEST(HistogramData, DefaultLatencyBoundsAre125Ladder) {
   const std::vector<double> bounds = HistogramData::default_latency_bounds();
   ASSERT_GE(bounds.size(), 3u);

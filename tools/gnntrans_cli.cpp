@@ -34,6 +34,11 @@
 //   --fault-inject P    deterministically inject faults into a fraction P of
 //                       (site, net) decisions — testing/chaos knob, default 0
 //   --fault-seed S      seed for the fault-injection hash (default 1)
+//   --autoscale on      resize the worker pool between batches from the
+//                       serving latency histogram (hysteresis controller;
+//                       results stay bitwise-identical to any pinned count)
+//   --min-threads N     autoscaler floor (default 1)
+//   --max-threads N     autoscaler ceiling (default 0 = hardware threads)
 //
 // Telemetry flags (any subcommand; most useful on predict/sta/train):
 //   --log-level L       trace|debug|info|warn|error|off (default info)
@@ -68,6 +73,7 @@
 #include <string>
 
 #include "cell/liberty.hpp"
+#include "core/autoscaler.hpp"
 #include "core/estimator.hpp"
 #include "core/fault_injector.hpp"
 #include "core/metrics.hpp"
@@ -303,16 +309,46 @@ void apply_serving_flags(const Args& args, core::BatchOptions& options) {
   }
 }
 
+/// Reads --autoscale / --min-threads / --max-threads. Returns nullopt when
+/// autoscaling is off (the default); exits 1 on a malformed --autoscale value.
+std::optional<core::AutoscalerConfig> autoscale_config_from(const Args& args) {
+  const std::string v = args.get("autoscale").value_or("off");
+  const bool on = v == "on" || v == "1" || v == "true";
+  if (!on && v != "off" && v != "0" && v != "false") {
+    GNNTRANS_LOG_ERROR("cli", "unknown --autoscale '%s' (on|off)", v.c_str());
+    std::exit(1);
+  }
+  if (!on) {
+    if (args.get("min-threads") || args.get("max-threads"))
+      GNNTRANS_LOG_WARN(
+          "cli", "--min-threads/--max-threads have no effect without "
+                 "--autoscale on");
+    return std::nullopt;
+  }
+  core::AutoscalerConfig cfg;
+  cfg.min_threads =
+      static_cast<std::size_t>(std::max(1L, args.get_long("min-threads", 1)));
+  cfg.max_threads =
+      static_cast<std::size_t>(std::max(0L, args.get_long("max-threads", 0)));
+  return cfg;
+}
+
 int cmd_predict(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
   const auto estimator =
       core::WireTimingEstimator::load_file(args.require("model"));
   telemetry::set_model_ready(true);
   const auto nets = load_spef(args.require("spef"));
-  const auto threads =
+  auto threads =
       static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
   const auto batch_size =
       static_cast<std::size_t>(std::max(1L, args.get_long("batch", 64)));
+  std::optional<core::PoolAutoscaler> autoscaler;
+  if (const auto acfg = autoscale_config_from(args)) {
+    autoscaler.emplace(*acfg);
+    threads = std::clamp(threads, autoscaler->config().min_threads,
+                         autoscaler->config().max_threads);
+  }
 
   std::vector<const rcnet::RcNet*> valid;
   std::vector<features::NetContext> contexts;
@@ -337,11 +373,24 @@ int cmd_predict(const Args& args) {
               "slew(ps)", "source");
   for (std::size_t begin = 0; begin < valid.size(); begin += batch_size) {
     const std::size_t count = std::min(batch_size, valid.size() - begin);
+    if (autoscaler) {
+      // Pool and per-worker workspaces resize in lockstep; stale workspaces
+      // would pin their peak arena memory forever.
+      const core::AutoscaleDecision d = autoscaler->decide(count, threads);
+      if (d.resized()) {
+        threads = d.target;
+        pool.resize(threads);
+        if (workspaces.size() > threads) workspaces.resize(threads);
+        options.pool = threads > 1 ? &pool : nullptr;
+        options.threads = threads;
+      }
+    }
     std::vector<core::NetBatchItem> items(count);
     for (std::size_t i = 0; i < count; ++i)
       items[i] = {valid[begin + i], &contexts[begin + i]};
     core::InferenceStats stats;
     const auto batches = estimator.estimate_batch(items, options, &stats);
+    if (autoscaler) autoscaler->observe(stats);
     total.merge(stats);
     for (std::size_t i = 0; i < count; ++i)
       for (const core::PathEstimate& pe : batches[i])
@@ -388,6 +437,8 @@ int cmd_sta(const Args& args) {
     core::BatchOptions serving;
     apply_serving_flags(args, serving);
     source.set_serving_options(serving);
+    if (const auto acfg = autoscale_config_from(args))
+      source.enable_autoscale(*acfg);
     sta = netlist::run_sta(parsed.design, library, source);
     source_name = source.name();
     GNNTRANS_LOG_INFO("serving", "%s", source.stats().summary().c_str());
