@@ -548,11 +548,17 @@ EstimatorWireSource::EstimatorWireSource(const WireTimingEstimator& estimator,
                                          const netlist::Design& design,
                                          const cell::CellLibrary& library,
                                          std::size_t threads)
-    : estimator_(estimator), design_(design), library_(library) {
+    : estimator_(estimator), design_(&design), library_(library) {
+  rebind(design);
+  set_threads(threads);
+}
+
+void EstimatorWireSource::rebind(const netlist::Design& design) {
+  design_ = &design;
+  net_by_name_.clear();
   net_by_name_.reserve(design.nets.size());
   for (std::size_t i = 0; i < design.nets.size(); ++i)
     net_by_name_.emplace(design.nets[i].rc.name, i);
-  set_threads(threads);
 }
 
 void EstimatorWireSource::set_threads(std::size_t threads) {
@@ -583,13 +589,13 @@ features::NetContext EstimatorWireSource::context_for(
 
   const auto it = net_by_name_.find(net.name);
   if (it != net_by_name_.end()) {
-    const netlist::DesignNet& dnet = design_.nets[it->second];
+    const netlist::DesignNet& dnet = design_->nets[it->second];
     const cell::Cell& driver =
-        library_.at(design_.instances[dnet.driver].cell_index);
+        library_.at(design_->instances[dnet.driver].cell_index);
     ctx.driver_strength = driver.drive_strength;
     ctx.driver_function = static_cast<std::uint32_t>(driver.function);
     for (netlist::InstanceId load : dnet.loads) {
-      const cell::Cell& lc = library_.at(design_.instances[load].cell_index);
+      const cell::Cell& lc = library_.at(design_->instances[load].cell_index);
       ctx.loads.push_back({lc.drive_strength,
                            static_cast<std::uint32_t>(lc.function),
                            lc.input_cap});

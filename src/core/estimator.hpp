@@ -266,6 +266,14 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
                       const cell::CellLibrary& library,
                       std::size_t threads = 1);
 
+  /// Re-points this source at \p design and rebuilds the net-name -> net
+  /// lookup behind context_for. ECO flows need this: IncrementalSta owns a
+  /// *mutated copy* of the design (rerouted parasitics, spliced buffer nets),
+  /// so the source must be rebound to sta.design() after construction and
+  /// after every structural edit or new nets fall back to neutral contexts.
+  /// \p design must outlive this source (or the next rebind).
+  void rebind(const netlist::Design& design);
+
   /// Worker count used by time_nets; takes effect from the next batch.
   /// Shrinking also trims the per-worker workspaces above the new count, so
   /// their arenas are released instead of pinning peak memory forever.
@@ -321,7 +329,7 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
                                                  double driver_resistance) const;
 
   const WireTimingEstimator& estimator_;
-  const netlist::Design& design_;
+  const netlist::Design* design_;  ///< re-pointable via rebind()
   const cell::CellLibrary& library_;
   std::unordered_map<std::string, std::size_t> net_by_name_;
 

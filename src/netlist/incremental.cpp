@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
@@ -13,94 +15,272 @@ IncrementalSta::IncrementalSta(Design design, const cell::CellLibrary& library,
       library_(library),
       wire_source_(wire_source),
       config_(config) {
-  // Seed all state from a full pass.
-  result_ = run_sta(design_, library_, wire_source_, config_);
+  // Seed all state from a full pass; the wire table hands over the per-sink
+  // timings the pass observed, so nothing is re-timed here.
+  StaWireTable table;
+  result_ = run_sta(design_, library_, wire_source_, config_, &table);
 
   const std::size_t n = design_.instances.size();
   in_arrival_.assign(n, -1.0);
   in_slew_.assign(n, config_.launch_slew);
+  in_settled_.assign(n, 1);
+  is_startpoint_.assign(n, 0);
+  for (InstanceId s : design_.startpoints) is_startpoint_[s] = 1;
   fanin_pins_.assign(n, {});
   net_contrib_.assign(design_.nets.size(), {});
+  net_unsettled_.assign(design_.nets.size(), 0);
+  net_dirty_.assign(design_.nets.size(), 0);
 
-  // Rebuild per-pin contributions by re-timing every net once with the
-  // already-known driver timing (the wire source is deterministic).
   for (std::uint32_t net_idx = 0; net_idx < design_.nets.size(); ++net_idx) {
     const DesignNet& net = design_.nets[net_idx];
-    const cell::Cell& driver = library_.at(design_.instances[net.driver].cell_index);
-    const std::vector<sim::SinkTiming> sinks =
-        wire_source_.time_net(net.rc, result_.slew[net.driver],
-                              driver.drive_resistance);
-    net_contrib_[net_idx].resize(net.loads.size());
-    for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
-      net_contrib_[net_idx][s].arrival =
-          result_.arrival[net.driver] + sinks[s].delay;
-      net_contrib_[net_idx][s].slew = sinks[s].slew;
+    const std::vector<StaWireTable::Sink>& sinks = table.nets[net_idx];
+    std::vector<Contribution>& contrib = net_contrib_[net_idx];
+    contrib.resize(std::min(net.loads.size(), sinks.size()));
+    for (std::size_t s = 0; s < contrib.size(); ++s) {
+      contrib[s].arrival = result_.arrival[net.driver] + sinks[s].delay;
+      contrib[s].slew = sinks[s].slew;
+      contrib[s].wire_delay = sinks[s].delay;
+      contrib[s].sink_settled = sinks[s].settled;
+      contrib[s].settled =
+          sinks[s].settled && result_.arrival_settled[net.driver] != 0;
+      if (!sinks[s].settled) ++net_unsettled_[net_idx];
       fanin_pins_[net.loads[s]].push_back(
           {net_idx, static_cast<std::uint32_t>(s)});
     }
   }
-  for (InstanceId v = 0; v < n; ++v) refresh_input(v);
+  for (InstanceId v = 0; v < n; ++v) {
+    sort_fanin_pins(v);
+    refresh_input(v);
+  }
+}
+
+void IncrementalSta::sort_fanin_pins(InstanceId load) {
+  // run_sta scatters contributions level block by level block, and within a
+  // block in ascending driver id (the stable level sort preserves id order).
+  // Max-ties at a pin are broken by the first winner in that order, so the
+  // refresh scan must walk pins the same way or tied slews diverge.
+  std::sort(fanin_pins_[load].begin(), fanin_pins_[load].end(),
+            [&](const FaninPin& a, const FaninPin& b) {
+              const InstanceId da = design_.nets[a.net].driver;
+              const InstanceId db = design_.nets[b.net].driver;
+              const std::uint32_t la = design_.instances[da].level;
+              const std::uint32_t lb = design_.instances[db].level;
+              if (la != lb) return la < lb;
+              if (da != db) return da < db;
+              return a.sink < b.sink;
+            });
 }
 
 void IncrementalSta::refresh_input(InstanceId load) {
   double best = -1.0;
   double best_slew = config_.launch_slew;
+  std::uint8_t best_settled = 1;
   std::uint32_t best_net = StaResult::kNone;
   double best_wire = 0.0;
   for (const FaninPin& pin : fanin_pins_[load]) {
+    if (pin.sink >= net_contrib_[pin.net].size()) continue;
     const Contribution& c = net_contrib_[pin.net][pin.sink];
     if (c.arrival > best) {
       best = c.arrival;
       best_slew = c.slew;
+      best_settled = c.settled ? 1 : 0;
       best_net = pin.net;
-      best_wire = c.arrival - result_.arrival[design_.nets[pin.net].driver];
+      best_wire = c.wire_delay;
     }
   }
   in_arrival_[load] = best;
   in_slew_[load] = best_slew;
+  in_settled_[load] = best_settled;
   result_.critical_net[load] = best_net;
   result_.critical_wire_delay[load] = best_wire;
+}
+
+void IncrementalSta::retime_net(std::uint32_t net_idx) {
+  const DesignNet& net = design_.nets[net_idx];
+  const InstanceId driver = net.driver;
+  const cell::Cell& c = library_.at(design_.instances[driver].cell_index);
+  const std::vector<sim::SinkTiming> sinks =
+      wire_source_.time_net(net.rc, result_.slew[driver], c.drive_resistance);
+
+  std::vector<Contribution>& contrib = net_contrib_[net_idx];
+  contrib.resize(std::min(net.loads.size(), sinks.size()));
+  std::size_t unsettled = 0;
+  for (std::size_t s = 0; s < contrib.size(); ++s) {
+    contrib[s].arrival = result_.arrival[driver] + sinks[s].delay;
+    contrib[s].slew = sinks[s].slew;
+    contrib[s].wire_delay = sinks[s].delay;
+    contrib[s].sink_settled = sinks[s].settled;
+    contrib[s].settled =
+        sinks[s].settled && result_.arrival_settled[driver] != 0;
+    if (!sinks[s].settled) ++unsettled;
+  }
+  net_unsettled_[net_idx] = unsettled;
+  net_dirty_[net_idx] = 0;
 }
 
 bool IncrementalSta::reevaluate(InstanceId v) {
   ++total_reevaluations_;
   const cell::Cell& c = library_.at(design_.instances[v].cell_index);
   const std::uint32_t net_idx = design_.driven_net[v];
+  const double tol = config_.incremental_tolerance;
 
   double new_arrival, new_slew, new_gate;
+  std::uint8_t new_settled;
   if (net_idx == Design::kNoNet) {
-    // Endpoint.
+    // Endpoint: arrival at the D pin is what Table V compares.
     new_arrival = std::max(0.0, in_arrival_[v]);
     new_slew = in_slew_[v];
     new_gate = 0.0;
+    new_settled = in_settled_[v];
   } else {
     const DesignNet& net = design_.nets[net_idx];
-    const bool is_startpoint = in_arrival_[v] < 0.0 && fanin_pins_[v].empty();
-    const double pin_slew = is_startpoint ? config_.launch_slew : in_slew_[v];
+    const bool is_start = is_startpoint_[v] != 0;
+    const double pin_slew = is_start ? config_.launch_slew : in_slew_[v];
     const double load_cap =
         nldm_load_cap(design_, library_, net, c, pin_slew, config_);
-    const double pin_arrival = is_startpoint ? 0.0 : std::max(0.0, in_arrival_[v]);
-    new_gate = c.arc.delay.lookup(pin_slew, load_cap);
-    new_arrival = pin_arrival + new_gate;
-    new_slew = c.arc.output_slew.lookup(pin_slew, load_cap);
+    if (is_start) {
+      // Launch FF: clock-to-q through the NLDM arc under the clock slew.
+      new_gate = c.arc.delay.lookup(config_.launch_slew, load_cap);
+      new_arrival = new_gate;
+      new_slew = c.arc.output_slew.lookup(config_.launch_slew, load_cap);
+      new_settled = 1;
+    } else {
+      const double pin_arrival = std::max(0.0, in_arrival_[v]);
+      new_gate = c.arc.delay.lookup(pin_slew, load_cap);
+      new_arrival = pin_arrival + new_gate;
+      new_slew = c.arc.output_slew.lookup(pin_slew, load_cap);
+      new_settled = in_settled_[v];
+    }
   }
 
-  const bool changed = std::abs(new_arrival - result_.arrival[v]) > kTolerance ||
-                       std::abs(new_slew - result_.slew[v]) > kTolerance;
+  // The settled flag is part of "changed": a contribution that heals from
+  // unsettled to settled with identical numbers must still flow downstream,
+  // or taint recovery would stall inside the cone.
+  const bool changed =
+      std::abs(new_arrival - result_.arrival[v]) > tol ||
+      std::abs(new_slew - result_.slew[v]) > tol ||
+      std::abs(new_gate - result_.gate_delay[v]) > tol ||
+      new_settled != result_.arrival_settled[v];
   result_.arrival[v] = new_arrival;
   result_.slew[v] = new_slew;
   result_.gate_delay[v] = new_gate;
+  result_.arrival_settled[v] = new_settled;
 
-  if (net_idx != Design::kNoNet && changed) {
-    const DesignNet& net = design_.nets[net_idx];
-    const std::vector<sim::SinkTiming> sinks =
-        wire_source_.time_net(net.rc, new_slew, c.drive_resistance);
-    for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
-      net_contrib_[net_idx][s].arrival = new_arrival + sinks[s].delay;
-      net_contrib_[net_idx][s].slew = sinks[s].slew;
-    }
+  // Re-time the driven net when the driver's output moved, or when an edit
+  // replaced the net's parasitics (dirty: the old sink timings are for a wire
+  // that no longer exists, even if the driver's output is bit-identical).
+  if (net_idx != Design::kNoNet && (changed || net_dirty_[net_idx] != 0)) {
+    retime_net(net_idx);
+    return true;
   }
-  return changed;
+  return false;
+}
+
+std::size_t IncrementalSta::propagate() {
+  const std::size_t n = design_.instances.size();
+  auto level_of = [&](InstanceId v) { return design_.instances[v].level; };
+
+  // Forward frontier: lowest level first, so every pop sees final fanin.
+  using Entry = std::pair<std::uint32_t, InstanceId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::vector<std::uint8_t> queued(n, 0);
+  auto push = [&](InstanceId v) {
+    if (!queued[v]) {
+      queued[v] = 1;
+      queue.emplace(level_of(v), v);
+    }
+  };
+  for (InstanceId v : forward_seeds_) push(v);
+  forward_seeds_.clear();
+
+  touched_.assign(n, 0);
+  touched_list_.clear();
+  auto touch = [&](InstanceId v) {
+    if (!touched_[v]) {
+      touched_[v] = 1;
+      touched_list_.push_back(v);
+    }
+  };
+
+  std::size_t forward = 0;
+  while (!queue.empty()) {
+    const InstanceId v = queue.top().second;
+    queue.pop();
+    queued[v] = 0;
+    refresh_input(v);
+    ++forward;
+    touch(v);
+    if (!reevaluate(v)) continue;
+    const std::uint32_t net_idx = design_.driven_net[v];
+    if (net_idx == Design::kNoNet) continue;
+    for (InstanceId load : design_.nets[net_idx].loads) push(load);
+  }
+  last_forward_retimed_ = forward;
+
+  // Reverse frontier: highest level first. Seeds are everything the forward
+  // pass touched plus the drivers feeding them — a touched node's gate delay
+  // or fanin wire delays shift its drivers' required times even when its own
+  // requirement is unchanged.
+  std::priority_queue<Entry> rqueue;
+  std::vector<std::uint8_t> rqueued(n, 0);
+  auto rpush = [&](InstanceId v) {
+    if (!rqueued[v]) {
+      rqueued[v] = 1;
+      rqueue.emplace(level_of(v), v);
+    }
+  };
+  const std::size_t forward_touched = touched_list_.size();
+  for (std::size_t i = 0; i < forward_touched; ++i) {
+    const InstanceId v = touched_list_[i];
+    rpush(v);
+    for (const FaninPin& pin : fanin_pins_[v])
+      rpush(design_.nets[pin.net].driver);
+  }
+
+  const double tol = config_.incremental_tolerance;
+  std::size_t reverse = 0;
+  while (!rqueue.empty()) {
+    const InstanceId v = rqueue.top().second;
+    rqueue.pop();
+    rqueued[v] = 0;
+    ++reverse;
+    touch(v);
+    // Same expression and evaluation order as run_sta's backward pass.
+    double new_req = config_.required_time;
+    const std::uint32_t net_idx = design_.driven_net[v];
+    if (net_idx != Design::kNoNet) {
+      const DesignNet& net = design_.nets[net_idx];
+      const std::vector<Contribution>& contrib = net_contrib_[net_idx];
+      double req = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < net.loads.size() && s < contrib.size(); ++s) {
+        const InstanceId load = net.loads[s];
+        req = std::min(req, (result_.required[load] -
+                             result_.gate_delay[load]) -
+                                contrib[s].wire_delay);
+      }
+      new_req = req;
+    }
+    const bool changed = std::abs(new_req - result_.required[v]) > tol;
+    result_.required[v] = new_req;
+    if (changed)
+      for (const FaninPin& pin : fanin_pins_[v])
+        rpush(design_.nets[pin.net].driver);
+  }
+  last_required_updates_ = reverse;
+
+  for (InstanceId v : touched_list_)
+    result_.slack[v] = result_.required[v] - result_.arrival[v];
+
+  // Refresh the run-level summaries.
+  result_.unsettled_sinks = 0;
+  for (std::size_t u : net_unsettled_) result_.unsettled_sinks += u;
+  result_.endpoint_arrival.clear();
+  result_.endpoint_slack.clear();
+  for (InstanceId e : design_.endpoints) {
+    result_.endpoint_arrival.push_back(result_.arrival[e]);
+    result_.endpoint_slack.push_back(result_.slack[e]);
+  }
+  return forward;
 }
 
 std::size_t IncrementalSta::swap_cell(InstanceId instance,
@@ -111,47 +291,311 @@ std::size_t IncrementalSta::swap_cell(InstanceId instance,
     throw std::invalid_argument("swap_cell: cell index out of range");
   design_.instances[instance].cell_index = new_cell_index;
 
-  // Level-ordered worklist over the affected cone. The swapped instance's
-  // input cap changed too, so the *driver* of every net feeding it sees a
-  // different load — start from those drivers.
-  auto level_of = [&](InstanceId v) { return design_.instances[v].level; };
-  using Entry = std::pair<std::uint32_t, InstanceId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-  std::vector<bool> queued(design_.instances.size(), false);
-  auto push = [&](InstanceId v) {
-    if (!queued[v]) {
-      queued[v] = true;
-      queue.emplace(level_of(v), v);
-    }
-  };
-  push(instance);
-  for (const FaninPin& pin : fanin_pins_[instance])
-    push(design_.nets[pin.net].driver);
+  // The swapped instance's input cap changed too, so the driver of every net
+  // feeding it sees a different load — seed those drivers alongside it. The
+  // adjacent nets are marked dirty outright: a context-sensitive wire source
+  // (the estimator featurizes driver/load cells) can yield different sink
+  // timings for the new cell even when the electrical inputs happen to be
+  // bitwise unchanged, so re-timing them unconditionally is what keeps the
+  // bitwise-equivalence contract for every WireTimingSource.
+  if (design_.driven_net[instance] != Design::kNoNet)
+    net_dirty_[design_.driven_net[instance]] = 1;
+  forward_seeds_.push_back(instance);
+  for (const FaninPin& pin : fanin_pins_[instance]) {
+    net_dirty_[pin.net] = 1;
+    forward_seeds_.push_back(design_.nets[pin.net].driver);
+  }
+  return propagate();
+}
 
-  std::size_t processed = 0;
-  while (!queue.empty()) {
-    const InstanceId v = queue.top().second;
-    queue.pop();
-    queued[v] = false;
-    refresh_input(v);
-    ++processed;
-    if (!reevaluate(v)) continue;
+std::size_t IncrementalSta::reroute_net(std::uint32_t net_index,
+                                        rcnet::RcNet new_rc) {
+  if (net_index >= design_.nets.size())
+    throw std::invalid_argument("reroute_net: net out of range");
+  DesignNet& net = design_.nets[net_index];
+  if (new_rc.sinks.size() != net.loads.size())
+    throw std::invalid_argument(
+        "reroute_net: new parasitics must keep one sink per load");
+  if (const auto errors = new_rc.validate(); !errors.empty())
+    throw std::invalid_argument("reroute_net: invalid parasitics: " +
+                                errors.front());
+  net.rc = std::move(new_rc);
+  net_dirty_[net_index] = 1;
+  forward_seeds_.push_back(net.driver);
+  return propagate();
+}
+
+std::size_t IncrementalSta::insert_buffer(
+    std::uint32_t net_index, std::uint32_t buffer_cell_index,
+    std::span<const std::uint32_t> sink_positions, rcnet::RcNet rerouted_rc,
+    rcnet::RcNet new_net_rc) {
+  if (net_index >= design_.nets.size())
+    throw std::invalid_argument("insert_buffer: net out of range");
+  if (buffer_cell_index >= library_.size())
+    throw std::invalid_argument("insert_buffer: cell index out of range");
+  const cell::Cell& buf = library_.at(buffer_cell_index);
+  if (cell::is_sequential(buf.function) ||
+      cell::input_count(buf.function) != 1)
+    throw std::invalid_argument(
+        "insert_buffer: cell must be single-input combinational");
+  const std::size_t fanout = design_.nets[net_index].loads.size();
+  if (sink_positions.empty())
+    throw std::invalid_argument("insert_buffer: no sinks selected");
+  std::vector<std::uint8_t> selected(fanout, 0);
+  for (const std::uint32_t pos : sink_positions) {
+    if (pos >= fanout)
+      throw std::invalid_argument("insert_buffer: sink position out of range");
+    if (selected[pos])
+      throw std::invalid_argument("insert_buffer: duplicate sink position");
+    selected[pos] = 1;
+  }
+  const std::size_t moved_count = sink_positions.size();
+  if (rerouted_rc.sinks.size() != fanout - moved_count + 1)
+    throw std::invalid_argument(
+        "insert_buffer: rerouted net needs one sink per remaining load plus "
+        "the buffer input");
+  if (new_net_rc.sinks.size() != moved_count)
+    throw std::invalid_argument(
+        "insert_buffer: new net needs one sink per spliced load");
+  if (const auto errors = rerouted_rc.validate(); !errors.empty())
+    throw std::invalid_argument("insert_buffer: invalid rerouted parasitics: " +
+                                errors.front());
+  if (const auto errors = new_net_rc.validate(); !errors.empty())
+    throw std::invalid_argument("insert_buffer: invalid new parasitics: " +
+                                errors.front());
+
+  const auto new_net_idx = static_cast<std::uint32_t>(design_.nets.size());
+  const auto buffer_id = static_cast<InstanceId>(design_.instances.size());
+
+  // Partition the original loads; relative order is preserved on both sides.
+  std::vector<InstanceId> kept, moved;
+  const std::vector<InstanceId> old_loads = design_.nets[net_index].loads;
+  for (std::size_t s = 0; s < old_loads.size(); ++s)
+    (selected[s] ? moved : kept).push_back(old_loads[s]);
+
+  // Splice: buffer instance, rewired original net (buffer is the last load),
+  // and the new net it drives.
+  Instance buffer_inst;
+  buffer_inst.cell_index = buffer_cell_index;
+  design_.instances.push_back(buffer_inst);
+  design_.driven_net.push_back(new_net_idx);
+
+  DesignNet& orig = design_.nets[net_index];
+  orig.loads = std::move(kept);
+  orig.loads.push_back(buffer_id);
+  orig.rc = std::move(rerouted_rc);
+
+  DesignNet spliced;
+  spliced.driver = buffer_id;
+  spliced.loads = std::move(moved);
+  spliced.rc = std::move(new_net_rc);
+  design_.nets.push_back(std::move(spliced));
+
+  // Grow per-instance and per-net state for the new members.
+  in_arrival_.push_back(-1.0);
+  in_slew_.push_back(config_.launch_slew);
+  in_settled_.push_back(1);
+  is_startpoint_.push_back(0);
+  fanin_pins_.emplace_back();
+  result_.arrival.push_back(0.0);
+  result_.slew.push_back(config_.launch_slew);
+  result_.required.push_back(config_.required_time);
+  result_.slack.push_back(0.0);
+  result_.arrival_settled.push_back(1);
+  result_.critical_net.push_back(StaResult::kNone);
+  result_.critical_wire_delay.push_back(0.0);
+  result_.gate_delay.push_back(0.0);
+  net_contrib_.emplace_back();
+  net_unsettled_.push_back(0);
+  net_dirty_.push_back(0);
+
+  // Rebuild the fanin pins of every load the splice moved or re-indexed:
+  // drop all pins onto the original net, then re-add per the new load lists.
+  for (const InstanceId load : old_loads) {
+    std::vector<FaninPin>& pins = fanin_pins_[load];
+    pins.erase(std::remove_if(pins.begin(), pins.end(),
+                              [&](const FaninPin& p) {
+                                return p.net == net_index;
+                              }),
+               pins.end());
+  }
+  const DesignNet& orig_after = design_.nets[net_index];
+  for (std::size_t s = 0; s < orig_after.loads.size(); ++s)
+    fanin_pins_[orig_after.loads[s]].push_back(
+        {net_index, static_cast<std::uint32_t>(s)});
+  const DesignNet& spliced_after = design_.nets[new_net_idx];
+  for (std::size_t s = 0; s < spliced_after.loads.size(); ++s)
+    fanin_pins_[spliced_after.loads[s]].push_back(
+        {new_net_idx, static_cast<std::uint32_t>(s)});
+
+  // Both wires are new routing; their old sink timings are meaningless.
+  net_contrib_[net_index].clear();
+  net_dirty_[net_index] = 1;
+  net_dirty_[new_net_idx] = 1;
+
+  relevel();
+
+  forward_seeds_.push_back(orig_after.driver);
+  forward_seeds_.push_back(buffer_id);
+  return propagate();
+}
+
+void IncrementalSta::relevel() {
+  // Longest-path depth over the instance DAG (Kahn order). Levels only order
+  // evaluation — run_sta over the mutated design uses these same values, so
+  // both engines keep scattering (and tie-breaking) identically.
+  const std::size_t n = design_.instances.size();
+  std::vector<std::uint32_t> pending(n, 0);
+  for (InstanceId v = 0; v < n; ++v)
+    pending[v] = static_cast<std::uint32_t>(fanin_pins_[v].size());
+  std::vector<InstanceId> ready;
+  ready.reserve(n);
+  for (InstanceId v = 0; v < n; ++v) {
+    design_.instances[v].level = 0;
+    if (pending[v] == 0) ready.push_back(v);
+  }
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    const InstanceId v = ready[i];
     const std::uint32_t net_idx = design_.driven_net[v];
     if (net_idx == Design::kNoNet) continue;
-    for (InstanceId load : design_.nets[net_idx].loads) push(load);
+    for (const InstanceId load : design_.nets[net_idx].loads) {
+      design_.instances[load].level = std::max(
+          design_.instances[load].level, design_.instances[v].level + 1);
+      if (--pending[load] == 0) ready.push_back(load);
+    }
   }
-
-  // Refresh the endpoint summary.
-  result_.endpoint_arrival.clear();
-  for (InstanceId e : design_.endpoints)
-    result_.endpoint_arrival.push_back(result_.arrival[e]);
-  return processed;
+  for (InstanceId v = 0; v < n; ++v) sort_fanin_pins(v);
 }
 
 double IncrementalSta::worst_arrival() const {
   double worst = 0.0;
   for (double a : result_.endpoint_arrival) worst = std::max(worst, a);
   return worst;
+}
+
+double IncrementalSta::worst_slack() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (double s : result_.endpoint_slack) worst = std::min(worst, s);
+  return worst;
+}
+
+const char* EcoEdit::kind_name() const noexcept {
+  switch (kind) {
+    case Kind::kSwapCell: return "swap_cell";
+    case Kind::kRerouteNet: return "reroute_net";
+    case Kind::kInsertBuffer: return "insert_buffer";
+  }
+  return "unknown";
+}
+
+std::string EcoEdit::describe() const {
+  char buf[160];
+  switch (kind) {
+    case Kind::kSwapCell:
+      std::snprintf(buf, sizeof(buf),
+                    "swap_cell u%u -> cell %u (retimed %zu, required %zu)",
+                    instance, cell_index, retimed, required_updates);
+      break;
+    case Kind::kRerouteNet:
+      std::snprintf(buf, sizeof(buf),
+                    "reroute_net net %u (retimed %zu, required %zu)", net,
+                    retimed, required_updates);
+      break;
+    case Kind::kInsertBuffer:
+      std::snprintf(
+          buf, sizeof(buf),
+          "insert_buffer u%u (cell %u) into net %u (retimed %zu, required %zu)",
+          instance, cell_index, net, retimed, required_updates);
+      break;
+  }
+  return buf;
+}
+
+EcoEdit apply_random_edit(IncrementalSta& sta, const cell::CellLibrary& library,
+                          std::mt19937_64& rng,
+                          const rcnet::NetGenConfig& net_config) {
+  const Design& d = sta.design();
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const double pick = coin(rng);
+  EcoEdit edit;
+
+  if (pick < 0.45) {
+    // Cell swap: a same-arity, same-kind replacement keeps connectivity legal.
+    std::uniform_int_distribution<std::size_t> pick_inst(
+        0, d.instances.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_cell(0, library.size() - 1);
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      const auto victim = static_cast<InstanceId>(pick_inst(rng));
+      const std::size_t candidate = pick_cell(rng);
+      const cell::Cell& old_cell = library.at(d.instances[victim].cell_index);
+      const cell::Cell& new_cell = library.at(candidate);
+      if (cell::input_count(new_cell.function) ==
+              cell::input_count(old_cell.function) &&
+          cell::is_sequential(new_cell.function) ==
+              cell::is_sequential(old_cell.function)) {
+        edit.kind = EcoEdit::Kind::kSwapCell;
+        edit.instance = victim;
+        edit.cell_index = static_cast<std::uint32_t>(candidate);
+        edit.retimed = sta.swap_cell(victim, edit.cell_index);
+        edit.required_updates = sta.last_required_updates();
+        return edit;
+      }
+    }
+    // No legal swap found (degenerate library): fall through to a reroute.
+  }
+
+  std::uniform_int_distribution<std::size_t> pick_net(0, d.nets.size() - 1);
+  const auto net_idx = static_cast<std::uint32_t>(pick_net(rng));
+  const std::size_t fanout = d.nets[net_idx].loads.size();
+  const std::string net_name = d.nets[net_idx].rc.name;
+
+  // Buffer cells available? Otherwise buffer insertion degrades to reroute.
+  std::vector<std::uint32_t> buffers;
+  for (std::size_t i = 0; i < library.size(); ++i)
+    if (library.at(i).function == cell::CellFunction::kBuf)
+      buffers.push_back(static_cast<std::uint32_t>(i));
+
+  if (pick < 0.75 || buffers.empty()) {
+    // Net reroute: fresh parasitics under the same name, same fanout.
+    rcnet::RcNet rc = rcnet::generate_net_for_fanout(
+        net_config, rng, net_name, static_cast<std::uint32_t>(fanout));
+    edit.kind = EcoEdit::Kind::kRerouteNet;
+    edit.net = net_idx;
+    edit.retimed = sta.reroute_net(net_idx, std::move(rc));
+    edit.required_updates = sta.last_required_updates();
+    return edit;
+  }
+
+  // Buffer insertion: splice a random nonempty subset of sinks behind a
+  // buffer. The rerouted original net keeps the remaining loads plus the
+  // buffer input; the new net carries the spliced loads.
+  std::vector<std::uint32_t> positions;
+  for (std::uint32_t s = 0; s < fanout; ++s)
+    if (coin(rng) < 0.5) positions.push_back(s);
+  if (positions.empty()) {
+    std::uniform_int_distribution<std::uint32_t> pick_pos(
+        0, static_cast<std::uint32_t>(fanout - 1));
+    positions.push_back(pick_pos(rng));
+  }
+  std::uniform_int_distribution<std::size_t> pick_buf(0, buffers.size() - 1);
+  const std::uint32_t buffer_cell = buffers[pick_buf(rng)];
+  // Instance count grows monotonically, so this name is unique and the whole
+  // edit stays deterministic in (rng state, design state).
+  const std::string new_name =
+      d.name + "/eco_b" + std::to_string(d.instances.size());
+  rcnet::RcNet rerouted = rcnet::generate_net_for_fanout(
+      net_config, rng, net_name,
+      static_cast<std::uint32_t>(fanout - positions.size() + 1));
+  rcnet::RcNet spliced = rcnet::generate_net_for_fanout(
+      net_config, rng, new_name, static_cast<std::uint32_t>(positions.size()));
+  edit.kind = EcoEdit::Kind::kInsertBuffer;
+  edit.cell_index = buffer_cell;
+  edit.net = net_idx;
+  edit.retimed = sta.insert_buffer(net_idx, buffer_cell, positions,
+                                   std::move(rerouted), std::move(spliced));
+  edit.required_updates = sta.last_required_updates();
+  edit.instance = static_cast<InstanceId>(sta.design().instances.size() - 1);
+  return edit;
 }
 
 }  // namespace gnntrans::netlist

@@ -1,22 +1,38 @@
 /// \file incremental.hpp
-/// Incremental STA: re-time only the fanout cone of an edited instance.
+/// Event-driven incremental STA: the ECO what-if engine.
 ///
 /// The paper's closing claim is that a fast wire estimator enables
 /// *incremental* timing optimization of routed designs. This engine supplies
-/// the other half of that loop: after a cell swap (the classic sizing move),
-/// only instances whose input arrival actually changed are re-evaluated, so
-/// each optimization trial costs a cone, not a full-design pass.
+/// the other half of that loop: after an edit, a dirty-pin forward frontier
+/// re-times only the affected fanout cone (arrival/slew/taint), and a reverse
+/// frontier restores required times and slacks only where downstream timing or
+/// fanout structure actually changed — so each what-if costs a cone, not a
+/// full-design pass.
 ///
-/// Invariant (tested): after any sequence of swaps, arrivals equal a fresh
-/// full run_sta over the mutated design with the same wire source.
+/// Supported edits (the classic ECO moves):
+///   - swap_cell: resize/substitute an instance (drive strength, function)
+///   - reroute_net: replace a net's extracted RC parasitics in place
+///   - insert_buffer: splice a buffer into a net, splitting its sinks
+///
+/// Invariant (fuzzed in tests/test_eco.cpp): with the default
+/// StaConfig::incremental_tolerance of 0, after ANY sequence of edits every
+/// arrival, slew, required time, slack, and settled flag is *bitwise* equal to
+/// a fresh full run_sta over the mutated design with the same wire source.
+/// The frontier stops exactly where a recomputed value reproduces the stored
+/// bits, which is always safe: identical inputs through the same deterministic
+/// wire source and NLDM arithmetic yield identical outputs downstream.
 #pragma once
 
 #include <cstdint>
+#include <random>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "cell/library.hpp"
 #include "netlist/design.hpp"
 #include "netlist/sta.hpp"
+#include "rcnet/generate.hpp"
 
 namespace gnntrans::netlist {
 
@@ -30,28 +46,78 @@ class IncrementalSta {
   /// Current timing (always consistent with the current design state).
   [[nodiscard]] const StaResult& result() const noexcept { return result_; }
   [[nodiscard]] const Design& design() const noexcept { return design_; }
+  [[nodiscard]] const StaConfig& config() const noexcept { return config_; }
 
   /// Swaps \p instance to \p new_cell_index and re-times its cone.
-  /// Returns the number of instances re-evaluated.
+  /// Returns the number of instances re-evaluated by the forward frontier.
   std::size_t swap_cell(InstanceId instance, std::uint32_t new_cell_index);
 
-  /// Worst endpoint arrival under the current state.
-  [[nodiscard]] double worst_arrival() const;
+  /// Replaces net \p net_index's parasitics with \p new_rc (the ECO reroute
+  /// move). new_rc must be structurally valid with exactly one sink per load;
+  /// its name becomes the net's name (keep it unchanged to stay aligned with
+  /// SPEF / estimator context lookups). Returns instances re-evaluated.
+  std::size_t reroute_net(std::uint32_t net_index, rcnet::RcNet new_rc);
 
-  /// Total instances re-evaluated across all swaps (cone-size accounting).
+  /// Splices a buffer into net \p net_index: the loads at \p sink_positions
+  /// move behind a new instance of \p buffer_cell_index (a single-input
+  /// combinational cell), which becomes the last load of the rerouted
+  /// original net and drives \p new_net_rc. \p rerouted_rc replaces the
+  /// original net's parasitics (one sink per remaining load + one for the
+  /// buffer input, in that order); \p new_net_rc needs one sink per spliced
+  /// load, in their original relative order. Instance levels are recomputed
+  /// (longest-path depth), which only re-orders evaluation, never timing.
+  /// Returns instances re-evaluated; the new buffer's InstanceId is
+  /// design().cell_count() - 1 afterwards.
+  std::size_t insert_buffer(std::uint32_t net_index,
+                            std::uint32_t buffer_cell_index,
+                            std::span<const std::uint32_t> sink_positions,
+                            rcnet::RcNet rerouted_rc, rcnet::RcNet new_net_rc);
+
+  /// Worst endpoint arrival / worst (most negative) endpoint slack.
+  [[nodiscard]] double worst_arrival() const;
+  [[nodiscard]] double worst_slack() const;
+
+  /// Total instances re-evaluated across all edits (cone-size accounting),
+  /// and the split of the most recent edit: forward-frontier re-evaluations
+  /// vs reverse-frontier required-time updates.
   [[nodiscard]] std::size_t total_reevaluations() const noexcept {
     return total_reevaluations_;
   }
+  [[nodiscard]] std::size_t last_forward_retimed() const noexcept {
+    return last_forward_retimed_;
+  }
+  [[nodiscard]] std::size_t last_required_updates() const noexcept {
+    return last_required_updates_;
+  }
 
  private:
-  /// Recomputes one instance's output timing and, if changed, re-times its
-  /// driven net and updates load contributions. Returns true when the
-  /// instance's output (arrival, slew) changed beyond tolerance.
+  /// Recomputes one instance's output timing and, if changed (or its driven
+  /// net is marked dirty), re-times the driven net and refreshes the stored
+  /// per-sink contributions. Returns true when anything observable changed.
   bool reevaluate(InstanceId v);
 
-  /// Refreshes in_arrival/in_slew/critical bookkeeping of \p load from the
-  /// stored per-net contributions.
+  /// Refreshes in_arrival/in_slew/in_settled/critical bookkeeping of \p load
+  /// from the stored per-net contributions, scanning fanin pins in run_sta's
+  /// scatter order so max-ties break identically.
   void refresh_input(InstanceId load);
+
+  /// Re-times net \p net_idx with the driver's current output and rewrites
+  /// its contributions (and the per-net unsettled tally).
+  void retime_net(std::uint32_t net_idx);
+
+  /// Runs the forward frontier from the seeded queue, then the reverse
+  /// required/slack frontier from everything the forward pass touched, then
+  /// refreshes the endpoint summaries. Returns forward re-evaluations.
+  std::size_t propagate();
+
+  /// Recomputes instance levels as longest-path depths and re-sorts every
+  /// fanin pin list (scatter order depends on levels). Needed after edits
+  /// that add instances; levels only order evaluation, they carry no timing.
+  void relevel();
+
+  /// Sorts \p load's fanin pins into run_sta scatter order:
+  /// (driver level, net index, sink position) ascending.
+  void sort_fanin_pins(InstanceId load);
 
   Design design_;
   const cell::CellLibrary& library_;
@@ -59,25 +125,64 @@ class IncrementalSta {
   StaConfig config_;
   StaResult result_;
 
-  /// Per-net per-sink (arrival, slew) contribution at each load pin.
+  /// Per-net per-sink contribution at each load pin.
   struct Contribution {
-    double arrival = -1.0;
-    double slew = 0.0;
+    double arrival = -1.0;    ///< driver arrival + wire delay
+    double slew = 0.0;        ///< sink slew
+    double wire_delay = 0.0;  ///< the wire source's delay for this sink
+    bool sink_settled = true; ///< the wire source's own settledness
+    bool settled = true;      ///< sink_settled && driver's arrival_settled
   };
   std::vector<std::vector<Contribution>> net_contrib_;  ///< [net][sink]
+  std::vector<std::size_t> net_unsettled_;  ///< sinks with !sink_settled, per net
+  std::vector<std::uint8_t> net_dirty_;     ///< wire must be re-timed regardless
 
-  /// Per-instance resolved input (max over contributions).
+  /// Per-instance resolved input (max over contributions, run_sta order).
   std::vector<double> in_arrival_;
   std::vector<double> in_slew_;
-  /// Nets feeding each instance: (net index, sink position).
+  std::vector<std::uint8_t> in_settled_;
+  std::vector<std::uint8_t> is_startpoint_;
+  /// Nets feeding each instance: (net index, sink position), kept sorted in
+  /// run_sta scatter order.
   struct FaninPin {
     std::uint32_t net = 0;
     std::uint32_t sink = 0;
   };
   std::vector<std::vector<FaninPin>> fanin_pins_;
 
+  // Frontier scratch (persist across edits to avoid reallocation).
+  std::vector<InstanceId> forward_seeds_;
+  std::vector<std::uint8_t> touched_;     ///< forward- or reverse-updated
+  std::vector<InstanceId> touched_list_;
+
   std::size_t total_reevaluations_ = 0;
-  static constexpr double kTolerance = 1e-16;  ///< seconds
+  std::size_t last_forward_retimed_ = 0;
+  std::size_t last_required_updates_ = 0;
 };
+
+/// One randomized ECO edit, as applied by apply_random_edit — the shared
+/// driver behind the `eco` CLI subcommand, the equivalence fuzzer, and
+/// bench_eco, so all three exercise the same edit distribution.
+struct EcoEdit {
+  enum class Kind : std::uint8_t { kSwapCell, kRerouteNet, kInsertBuffer };
+  Kind kind = Kind::kSwapCell;
+  InstanceId instance = 0;      ///< swapped instance or inserted buffer
+  std::uint32_t cell_index = 0; ///< replacement / buffer cell
+  std::uint32_t net = 0;        ///< rerouted or split net
+  std::size_t retimed = 0;      ///< forward re-evaluations this edit cost
+  std::size_t required_updates = 0;  ///< reverse-frontier updates
+
+  [[nodiscard]] const char* kind_name() const noexcept;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Applies one seeded random edit to \p sta: a same-arity cell swap, a net
+/// reroute with freshly generated parasitics, or a buffer insertion splitting
+/// a random subset of a net's sinks. \p net_config shapes generated
+/// parasitics. Deterministic in (\p rng state, current design state).
+[[nodiscard]] EcoEdit apply_random_edit(IncrementalSta& sta,
+                                        const cell::CellLibrary& library,
+                                        std::mt19937_64& rng,
+                                        const rcnet::NetGenConfig& net_config);
 
 }  // namespace gnntrans::netlist

@@ -12,6 +12,10 @@ TimingPath trace_critical_path(const Design& design, const StaResult& sta,
   TimingPath path;
   path.endpoint = endpoint;
   path.arrival = sta.arrival[endpoint];
+  if (endpoint < sta.required.size()) {
+    path.required = sta.required[endpoint];
+    path.slack = sta.slack[endpoint];
+  }
 
   // Walk critical links backwards: endpoint -> driver -> ... -> launch FF.
   std::vector<PathStage> reversed;
@@ -99,6 +103,12 @@ std::string format_path(const Design& design, const cell::CellLibrary& library,
   }
   std::snprintf(line, sizeof(line), "  %-26s %10s %10.2f\n", "data arrival", "",
                 path.arrival * 1e12);
+  out << line;
+  std::snprintf(line, sizeof(line), "  %-26s %10s %10.2f\n", "data required",
+                "", path.required * 1e12);
+  out << line;
+  std::snprintf(line, sizeof(line), "  %-26s %10s %10.2f (%s)\n", "slack", "",
+                path.slack * 1e12, path.slack < 0.0 ? "VIOLATED" : "MET");
   out << line;
   return out.str();
 }

@@ -32,6 +32,10 @@ struct PathStage {
 struct TimingPath {
   InstanceId endpoint = 0;
   double arrival = 0.0;  ///< endpoint arrival (D pin)
+  /// Required time / slack at the endpoint, from the StaResult backward pass
+  /// (0 when the result predates required/slack propagation).
+  double required = 0.0;
+  double slack = 0.0;
   /// Stages, launch FF first, endpoint last.
   std::vector<PathStage> stages;
 };

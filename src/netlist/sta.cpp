@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 
 #include "core/telemetry/telemetry.hpp"
@@ -77,7 +78,8 @@ double nldm_load_cap(const Design& design, const cell::CellLibrary& library,
 }
 
 StaResult run_sta(const Design& design, const cell::CellLibrary& library,
-                  WireTimingSource& wire_source, const StaConfig& config) {
+                  WireTimingSource& wire_source, const StaConfig& config,
+                  StaWireTable* wire_table) {
   const telemetry::TraceSpan sta_span("run_sta", "sta");
   const std::size_t n = design.instances.size();
   StaResult result;
@@ -87,6 +89,12 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
   result.critical_net.assign(n, StaResult::kNone);
   result.critical_wire_delay.assign(n, 0.0);
   result.gate_delay.assign(n, 0.0);
+
+  // Per-net per-sink wire timing, recorded as nets are scattered; feeds the
+  // backward required-time pass and, via \p wire_table, the incremental
+  // engine's per-pin seed state.
+  StaWireTable table;
+  table.nets.resize(design.nets.size());
 
   // Best (latest) arrival seen at each instance's data input so far, and
   // whether that arrival is trustworthy (critical fanin settled all the way).
@@ -189,7 +197,10 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
       const std::uint32_t net_idx = design.driven_net[v];
       const DesignNet& net = design.nets[net_idx];
       const std::vector<sim::SinkTiming>& sinks = sink_batches[r];
+      table.nets[net_idx].resize(std::min(net.loads.size(), sinks.size()));
       for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
+        table.nets[net_idx][s] = {sinks[s].delay, sinks[s].slew,
+                                  sinks[s].settled};
         const InstanceId load = net.loads[s];
         if (!sinks[s].settled) ++result.unsettled_sinks;
         const double arr = result.arrival[v] + sinks[s].delay;
@@ -225,9 +236,36 @@ StaResult run_sta(const Design& design, const cell::CellLibrary& library,
         result.unsettled_sinks, tainted);
   }
 
+  // Backward pass: required times in reverse level order, seeded by the setup
+  // constraint at every endpoint (instances that drive nothing keep it). The
+  // per-sink expression and its evaluation order are the contract the
+  // incremental engine reproduces bitwise, so do not reassociate it.
+  result.required.assign(n, config.required_time);
+  for (std::size_t k = order.size(); k-- > 0;) {
+    const InstanceId v = order[k];
+    const std::uint32_t net_idx = design.driven_net[v];
+    if (net_idx == Design::kNoNet) continue;
+    const DesignNet& net = design.nets[net_idx];
+    const std::vector<StaWireTable::Sink>& sinks = table.nets[net_idx];
+    double req = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < net.loads.size() && s < sinks.size(); ++s) {
+      const InstanceId load = net.loads[s];
+      req = std::min(req, (result.required[load] - result.gate_delay[load]) -
+                              sinks[s].delay);
+    }
+    result.required[v] = req;
+  }
+  result.slack.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    result.slack[v] = result.required[v] - result.arrival[v];
+
   result.endpoint_arrival.reserve(design.endpoints.size());
-  for (InstanceId e : design.endpoints)
+  result.endpoint_slack.reserve(design.endpoints.size());
+  for (InstanceId e : design.endpoints) {
     result.endpoint_arrival.push_back(result.arrival[e]);
+    result.endpoint_slack.push_back(result.slack[e]);
+  }
+  if (wire_table) *wire_table = std::move(table);
   return result;
 }
 

@@ -80,6 +80,26 @@ struct StaConfig {
   /// Resistively shielded nets then stress the driver less — the sign-off
   /// behaviour — at the cost of one moment solve per net.
   bool use_ceff = false;
+  /// Required time at every endpoint's D pin (the single-clock setup
+  /// constraint); seeds the backward required/slack propagation.
+  double required_time = 1.0e-9;  ///< seconds
+  /// Incremental-STA propagation cutoff: a re-evaluated quantity whose change
+  /// is <= this stops the frontier. 0 (the default) propagates every bit-level
+  /// change, which is what makes incremental results *bitwise* equal to a full
+  /// run_sta; a loose tolerance trades that exactness for smaller cones.
+  double incremental_tolerance = 0.0;  ///< seconds
+};
+
+/// Per-sink wire timing recorded while run_sta scattered a net, so callers
+/// (the incremental engine) can seed per-pin state without re-timing every
+/// net. nets[i][s] answers design.nets[i].rc.sinks[s].
+struct StaWireTable {
+  struct Sink {
+    double delay = 0.0;    ///< seconds, driver output to this sink
+    double slew = 0.0;     ///< seconds at the sink
+    bool settled = false;  ///< the wire source's own settledness flag
+  };
+  std::vector<std::vector<Sink>> nets;
 };
 
 /// Full-design arrival report.
@@ -88,16 +108,26 @@ struct StaResult {
   /// or at its D pin (endpoints). Unreached instances stay at 0.
   std::vector<double> arrival;
   std::vector<double> slew;
-  /// Arrival at each endpoint, aligned with design.endpoints.
+  /// Required time / slack at the same pin arrival is measured at, from the
+  /// backward pass seeded with StaConfig::required_time at every endpoint:
+  /// required[v] = min over driven-net sinks s of
+  ///   (required[load_s] - gate_delay[load_s]) - wire_delay_s,
+  /// and slack[v] = required[v] - arrival[v].
+  std::vector<double> required;
+  std::vector<double> slack;
+  /// Arrival / slack at each endpoint, aligned with design.endpoints.
   std::vector<double> endpoint_arrival;
+  std::vector<double> endpoint_slack;
 
   /// Per-instance settledness of the arrival: 0 when the critical path ran
   /// through a wire sink its source could not settle — an estimator net that
   /// fell off the degradation ladder (kFailed, delay 0), or a transient
   /// window that never crossed 80% of vdd. Such arrivals are optimistic
   /// lower bounds, not timing; run_sta propagates the taint downstream and
-  /// WARNs instead of silently accepting the zero delay. Filled by run_sta;
-  /// incremental re-timing (IncrementalSta) keeps the full-pass values.
+  /// WARNs instead of silently accepting the zero delay. Filled by run_sta
+  /// and kept current by IncrementalSta: cone retimes re-derive the flag
+  /// wherever a contribution changed, so a sink healed by a reroute recovers
+  /// to settled while an untouched unsettled sink stays tainted.
   std::vector<std::uint8_t> arrival_settled;
   /// Wire sinks delivered with settled == false across the whole run.
   std::size_t unsettled_sinks = 0;
@@ -116,11 +146,15 @@ struct StaResult {
   double wire_seconds = 0.0;  ///< wall time inside the wire timing source
 };
 
-/// Propagates arrivals through \p design in level order.
+/// Propagates arrivals through \p design in level order, then required times
+/// and slacks in reverse level order. When \p wire_table is non-null it is
+/// filled with the per-net per-sink wire timings the run observed (one entry
+/// per net, in design.nets order).
 [[nodiscard]] StaResult run_sta(const Design& design,
                                 const cell::CellLibrary& library,
                                 WireTimingSource& wire_source,
-                                const StaConfig& config = {});
+                                const StaConfig& config = {},
+                                StaWireTable* wire_table = nullptr);
 
 /// Load capacitance the NLDM arc of \p driver sees for \p net under
 /// \p config: total cap + pin caps, or the shielding-aware effective

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -176,6 +177,57 @@ TEST(Incremental, UpsizeReducesConeArrival) {
     }
   }
   GTEST_SKIP() << "no stronger drive available anywhere on the worst path";
+}
+
+// ---- report_timing views over the incrementally maintained StaResult ----
+
+TEST(ReportIncremental, ViewsStayConsistentAfterEachEdit) {
+  const auto lib = cell::CellLibrary::make_default();
+  GoldenWireSource wire(quick_tc());
+  IncrementalSta inc(make_design(19), lib, wire, StaConfig{});
+  std::mt19937_64 rng(19 * 101);
+  const rcnet::NetGenConfig net_cfg;
+
+  for (int edit = 0; edit < 4; ++edit) {
+    (void)apply_random_edit(inc, lib, rng, net_cfg);
+    const Design& d = inc.design();
+    const StaResult& sta = inc.result();
+
+    // Worst paths: sorted by arrival, stage increments sum to the endpoint
+    // arrival, and the reported slack is the endpoint's slack.
+    const auto paths = worst_paths(d, sta, 5);
+    ASSERT_GE(paths.size(), 2u) << "edit " << edit;
+    for (std::size_t i = 1; i < paths.size(); ++i)
+      EXPECT_GE(paths[i - 1].arrival, paths[i].arrival) << "edit " << edit;
+    EXPECT_EQ(paths.front().arrival, inc.worst_arrival()) << "edit " << edit;
+    for (const TimingPath& path : paths) {
+      double sum = 0.0;
+      for (const PathStage& stage : path.stages)
+        sum += stage.gate_delay + stage.wire_delay;
+      EXPECT_NEAR(sum, path.arrival, 1e-15 + 1e-9 * path.arrival)
+          << "edit " << edit << " endpoint u" << path.endpoint;
+      EXPECT_EQ(path.required, sta.required[path.endpoint]);
+      EXPECT_EQ(path.slack, sta.slack[path.endpoint]);
+      EXPECT_EQ(path.slack, path.required - path.arrival);
+    }
+
+    // Slack ordering: endpoint_slack aligns with per-instance slack, and the
+    // worst endpoint slack is what worst_slack() reports.
+    double min_slack = std::numeric_limits<double>::infinity();
+    for (std::size_t e = 0; e < d.endpoints.size(); ++e) {
+      EXPECT_EQ(sta.endpoint_slack[e], sta.slack[d.endpoints[e]])
+          << "edit " << edit << " endpoint " << e;
+      min_slack = std::min(min_slack, sta.endpoint_slack[e]);
+    }
+    EXPECT_EQ(min_slack, inc.worst_slack()) << "edit " << edit;
+
+    // The formatted report carries the new required/slack lines.
+    std::ostringstream out;
+    write_timing_report(out, d, lib, sta, 2);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("data required"), std::string::npos);
+    EXPECT_NE(text.find("slack"), std::string::npos);
+  }
 }
 
 TEST(Incremental, SwapValidation) {

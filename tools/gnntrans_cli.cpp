@@ -23,6 +23,16 @@
 //       --threads T parallelizes wire inference within each topological
 //       level (identical arrivals for any T). --paths K appends a sign-off
 //       style report of the K worst paths.
+//   eco       [--seed S] [--edits N] [--startpoints P --levels L --width W]
+//             [--steps T] [--model IN] [--verify on|off] [--paths K]
+//       ECO what-if driver: generate a design, apply N seeded random edits
+//       (cell swaps, net reroutes, buffer insertions) through the
+//       incremental engine, and after every edit verify the incrementally
+//       maintained arrivals/slews/required-times/slacks are bitwise equal
+//       to a fresh full run_sta over the mutated design (--verify off
+//       skips the check). Reports retimed-instances per edit; exits 2 on
+//       any mismatch. Wire timing from the golden simulator (--steps sets
+//       its resolution) or a trained model with --model.
 //
 // Serving robustness flags (predict, and sta with --model):
 //   --fallback P        analytic (default) degrades model-failed nets to the
@@ -80,6 +90,7 @@
 #include "core/telemetry/telemetry.hpp"
 #include "features/dataset.hpp"
 #include "netlist/generate.hpp"
+#include "netlist/incremental.hpp"
 #include "netlist/report.hpp"
 #include "netlist/sta.hpp"
 #include "netlist/verilog.hpp"
@@ -465,10 +476,140 @@ int cmd_sta(const Args& args) {
   return 0;
 }
 
+/// True when every per-instance timing quantity of \p a and \p b is bitwise
+/// identical — the ECO equivalence contract (doubles compared by bit pattern,
+/// so NaNs or signed zeros would not slip through a numeric ==).
+bool bitwise_equal(const netlist::StaResult& a, const netlist::StaResult& b,
+                   const char** what) {
+  auto eq_d = [](const std::vector<double>& x, const std::vector<double>& y) {
+    return x.size() == y.size() &&
+           (x.empty() ||
+            std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+  };
+  if (!eq_d(a.arrival, b.arrival)) return *what = "arrival", false;
+  if (!eq_d(a.slew, b.slew)) return *what = "slew", false;
+  if (!eq_d(a.required, b.required)) return *what = "required", false;
+  if (!eq_d(a.slack, b.slack)) return *what = "slack", false;
+  if (a.arrival_settled != b.arrival_settled)
+    return *what = "arrival_settled", false;
+  if (!eq_d(a.endpoint_arrival, b.endpoint_arrival))
+    return *what = "endpoint_arrival", false;
+  if (!eq_d(a.endpoint_slack, b.endpoint_slack))
+    return *what = "endpoint_slack", false;
+  return true;
+}
+
+int cmd_eco(const Args& args) {
+  const auto library = cell::CellLibrary::make_default();
+  netlist::DesignGenConfig dcfg;
+  dcfg.startpoints =
+      static_cast<std::uint32_t>(std::max(1L, args.get_long("startpoints", 8)));
+  dcfg.levels =
+      static_cast<std::uint32_t>(std::max(1L, args.get_long("levels", 5)));
+  dcfg.cells_per_level =
+      static_cast<std::uint32_t>(std::max(1L, args.get_long("width", 10)));
+  dcfg.seed = static_cast<std::uint64_t>(std::max(1L, args.get_long("seed", 1)));
+  netlist::Design design = netlist::generate_design(dcfg, library, "eco");
+  const long edits = std::max(1L, args.get_long("edits", 20));
+  const bool verify = args.get("verify").value_or("on") != "off";
+
+  std::unique_ptr<netlist::WireTimingSource> source;
+  core::EstimatorWireSource* estimator_source = nullptr;
+  std::optional<core::WireTimingEstimator> estimator;
+  if (const auto model_path = args.get("model")) {
+    estimator = core::WireTimingEstimator::load_file(*model_path);
+    telemetry::set_model_ready(true);
+    auto src = std::make_unique<core::EstimatorWireSource>(
+        *estimator, design, library,
+        static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1))));
+    core::BatchOptions serving;
+    apply_serving_flags(args, serving);
+    src->set_serving_options(serving);
+    estimator_source = src.get();
+    source = std::move(src);
+  } else {
+    sim::TransientConfig tc;
+    tc.steps = static_cast<std::size_t>(std::max(50L, args.get_long("steps", 300)));
+    source = std::make_unique<netlist::GoldenWireSource>(tc);
+  }
+
+  // Default StaConfig: incremental_tolerance 0 == the bitwise contract.
+  const netlist::StaConfig sta_config;
+  // Pass a copy: the estimator stays bound to `design` through the
+  // constructor's full STA, then gets re-pointed at the engine's own copy
+  // (and again after edits that create nets).
+  netlist::IncrementalSta inc(design, library, *source, sta_config);
+  if (estimator_source) estimator_source->rebind(inc.design());
+
+  std::mt19937_64 rng(dcfg.seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::size_t total_retimed = 0;
+  std::size_t total_required = 0;
+  std::size_t mismatches = 0;
+  std::printf("%-5s %-52s %9s %9s\n", "edit", "description", "forward",
+              "required");
+  for (long i = 0; i < edits; ++i) {
+    netlist::EcoEdit edit =
+        netlist::apply_random_edit(inc, library, rng, dcfg.net_config);
+    std::size_t fixup = 0;
+    if (estimator_source && edit.kind == netlist::EcoEdit::Kind::kInsertBuffer) {
+      // The splice created a net the source has never seen and changed the
+      // load list of the original one; re-point the source and refresh both
+      // nets so their stored timings reflect the rebound contexts.
+      estimator_source->rebind(inc.design());
+      const std::uint32_t touched[2] = {
+          edit.net, static_cast<std::uint32_t>(inc.design().nets.size() - 1)};
+      for (const std::uint32_t net_idx : touched) {
+        rcnet::RcNet rc = inc.design().nets[net_idx].rc;
+        fixup += inc.reroute_net(net_idx, std::move(rc));
+      }
+    }
+    total_retimed += edit.retimed + fixup;
+    total_required += edit.required_updates;
+    std::printf("%-5ld %-52s %9zu %9zu\n", i, edit.describe().c_str(),
+                edit.retimed + fixup, edit.required_updates);
+    if (verify) {
+      const netlist::StaResult full =
+          netlist::run_sta(inc.design(), library, *source, sta_config);
+      const char* what = "";
+      if (!bitwise_equal(inc.result(), full, &what)) {
+        ++mismatches;
+        GNNTRANS_LOG_ERROR("eco",
+                           "edit %ld (%s): incremental %s diverges from full "
+                           "run_sta",
+                           i, edit.kind_name(), what);
+      }
+    }
+  }
+
+  const std::size_t instances = inc.design().instances.size();
+  const double mean_retimed =
+      static_cast<double>(total_retimed) / static_cast<double>(edits);
+  std::printf(
+      "\n%zu instances; %ld edits; mean %.1f retimed + %.1f required-updates "
+      "per edit (%.1f%% of design); worst arrival %.2f ps, worst slack %.2f "
+      "ps\n",
+      instances, edits, mean_retimed,
+      static_cast<double>(total_required) / static_cast<double>(edits),
+      100.0 * mean_retimed / static_cast<double>(instances),
+      inc.worst_arrival() * 1e12, inc.worst_slack() * 1e12);
+  if (verify)
+    std::printf("verification: %ld/%ld edits bitwise-equal to full run_sta\n",
+                edits - static_cast<long>(mismatches), edits);
+
+  const long report_paths = args.get_long("paths", 0);
+  if (report_paths > 0) {
+    std::ostringstream report;
+    netlist::write_timing_report(report, inc.design(), library, inc.result(),
+                                 static_cast<std::size_t>(report_paths));
+    std::printf("\n%s", report.str().c_str());
+  }
+  return mismatches == 0 ? 0 : 2;
+}
+
 void usage() {
   GNNTRANS_LOG_ERROR(
       "cli",
-      "usage: gnntrans_cli <generate|design|libgen|train|eval|predict|sta> "
+      "usage: gnntrans_cli <generate|design|libgen|train|eval|predict|sta|eco> "
       "[--flag value ...]; telemetry flags (any command): --log-level "
       "<trace|debug|info|warn|error|off> --log-json FILE --metrics-out FILE "
       "--trace-out FILE --obs-port P --flight-out FILE --stats-interval S "
@@ -608,6 +749,7 @@ int main(int argc, char** argv) {
     else if (cmd == "eval") rc = cmd_eval(args);
     else if (cmd == "predict") rc = cmd_predict(args);
     else if (cmd == "sta") rc = cmd_sta(args);
+    else if (cmd == "eco") rc = cmd_eco(args);
   } catch (const std::exception& e) {
     GNNTRANS_LOG_ERROR("cli", "%s", e.what());
     return 2;
