@@ -78,16 +78,15 @@ struct ServingMetrics {
   }
 };
 
-/// Analytic degradation target: per-path Elmore-family estimates from the
-/// same moment engine that feeds Table I features. Delay is the D2M metric at
-/// the sink (exact-moment based, defined on non-tree nets); slew combines the
-/// input slew with the impulse-response spread sqrt(2*m2 - m1^2) scaled by
-/// ln(9) (the 20/80 width of a one-pole response), the classical two-moment
-/// slew metric. Precondition: net.validate() is empty.
-std::vector<PathEstimate> analytic_fallback(const rcnet::RcNet& net,
-                                            const features::NetContext& context) {
+/// Per-path Elmore-family estimates from an already-computed moment analysis.
+/// Delay is the D2M metric at the sink (exact-moment based, defined on
+/// non-tree nets); slew combines the input slew with the impulse-response
+/// spread sqrt(2*m2 - m1^2) scaled by ln(9) (the 20/80 width of a one-pole
+/// response), the classical two-moment slew metric. Shared by the degradation
+/// ladder's fallback rung and the shadow scorer's reference re-time.
+std::vector<PathEstimate> analytic_estimates(const sim::WireAnalysis& analysis,
+                                             const features::NetContext& context) {
   constexpr double kLn9 = 2.1972245773362196;  // ln(9): 20/80 of one pole
-  const sim::WireAnalysis analysis = sim::analyze_wire(net);
   std::vector<PathEstimate> out;
   out.reserve(analysis.paths.size());
   for (const rcnet::WirePath& path : analysis.paths) {
@@ -104,6 +103,45 @@ std::vector<PathEstimate> analytic_fallback(const rcnet::RcNet& net,
     out.push_back(pe);
   }
   return out;
+}
+
+/// Analytic degradation target: runs the moment engine on \p net and derives
+/// the Elmore/D2M estimates. Precondition: net.validate() is empty.
+std::vector<PathEstimate> analytic_fallback(const rcnet::RcNet& net,
+                                            const features::NetContext& context) {
+  return analytic_estimates(sim::analyze_wire(net), context);
+}
+
+/// Shadow scorer: re-featurizes \p net from scratch (live feature sketches
+/// must see exactly the serving featurization, and the separate extraction
+/// keeps the served results bitwise-untouched), re-times it analytically from
+/// the same moment analysis, and records per-sink model-vs-analytic residuals.
+/// Never throws — a shadow failure must not affect serving.
+void shadow_score(const rcnet::RcNet& net, const features::NetContext& context,
+                  const std::vector<PathEstimate>& served) noexcept {
+  try {
+    telemetry::QualityMonitor& monitor = telemetry::QualityMonitor::global();
+    const features::RawFeatures raw = features::extract_features(net, context);
+    monitor.observe_features(raw.x.data(),
+                             raw.x.size() / features::kNodeFeatureCount,
+                             features::kNodeFeatureCount,
+                             features::kQualityNodeFeatureBase);
+    monitor.observe_features(raw.h.data(),
+                             raw.h.size() / features::kPathFeatureCount,
+                             features::kPathFeatureCount,
+                             features::kQualityPathFeatureBase);
+    const std::vector<PathEstimate> reference =
+        analytic_estimates(raw.analysis, context);
+    if (reference.size() != served.size()) return;  // topology raced an edit
+    const bool non_tree = !net.is_tree();
+    for (std::size_t q = 0; q < served.size(); ++q) {
+      monitor.record_residual(non_tree, served[q].delay, reference[q].delay,
+                              served[q].slew, reference[q].slew);
+    }
+    monitor.count_shadowed_net();
+  } catch (...) {
+    // Swallow: shadow scoring is advisory; the served estimates already left.
+  }
 }
 
 /// Ladder bottom: one zeroed estimate per sink so callers still get a full
@@ -212,6 +250,26 @@ WireTimingEstimator WireTimingEstimator::train(
   const std::vector<nn::GraphSample> samples =
       features::make_samples(records, est.standardizer_);
   est.train_report_ = train_model(*est.model_, samples, options.train);
+
+  // Quality baseline: the training distribution of every raw input feature,
+  // sketched per column. Serving compares its live sketches against these to
+  // compute per-feature PSI (telemetry::QualityMonitor), so the profile must
+  // be built over exactly the featurization serving re-runs.
+  est.baseline_.names = features::quality_feature_names();
+  est.baseline_.sketches.assign(est.baseline_.names.size(),
+                                telemetry::LogSketch());
+  for (const features::WireRecord& rec : records) {
+    const std::vector<float>& x = rec.raw.x;
+    for (std::size_t r = 0; r * features::kNodeFeatureCount < x.size(); ++r)
+      for (std::size_t c = 0; c < features::kNodeFeatureCount; ++c)
+        est.baseline_.sketches[features::kQualityNodeFeatureBase + c].observe(
+            static_cast<double>(x[r * features::kNodeFeatureCount + c]));
+    const std::vector<float>& h = rec.raw.h;
+    for (std::size_t r = 0; r * features::kPathFeatureCount < h.size(); ++r)
+      for (std::size_t c = 0; c < features::kPathFeatureCount; ++c)
+        est.baseline_.sketches[features::kQualityPathFeatureBase + c].observe(
+            static_cast<double>(h[r * features::kPathFeatureCount + c]));
+  }
   return est;
 }
 
@@ -310,6 +368,7 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
   const auto start = Clock::now();
   std::vector<std::vector<PathEstimate>> results(items.size());
   std::vector<double> latency(items.size(), 0.0);
+  std::vector<double> shadow_secs(items.size(), 0.0);
 
   ThreadPool* pool = options.pool;
   std::unique_ptr<ThreadPool> owned_pool;
@@ -397,6 +456,19 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     }
 
     latency[i] = seconds_since(t0);
+
+    // Shadow scoring: deterministic pure-hash sample of model-served nets,
+    // re-timed against the analytic baseline. Runs after latency[i] is taken
+    // so serving latency metrics exclude the shadow's own cost; self-times
+    // into shadow_secs for the batch-level overhead controller.
+    telemetry::QualityMonitor& quality = telemetry::QualityMonitor::global();
+    if (outcome.provenance == EstimateProvenance::kModel && quality.active() &&
+        quality.should_shadow(net.name)) {
+      const auto s0 = Clock::now();
+      shadow_score(net, context, results[i]);
+      shadow_secs[i] = seconds_since(s0);
+    }
+
     if (options.slow_net_warn_seconds > 0.0 &&
         latency[i] > options.slow_net_warn_seconds) {
       outcome.slow = true;
@@ -479,6 +551,18 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     telemetry::TraceRecorder::global().adapt(
         2.0 * static_cast<double>(items.size()) + 1.0, wall);
 
+  // Shadow budget controller, same cadence: the summed self-timed shadow cost
+  // of this batch moves the effective sampling rate *between* batches only,
+  // so within-batch sampling decisions stay pure functions of (seed, name).
+  {
+    telemetry::QualityMonitor& quality = telemetry::QualityMonitor::global();
+    if (quality.active() && !items.empty() && wall > 0.0) {
+      double shadow_total = 0.0;
+      for (const double s : shadow_secs) shadow_total += s;
+      quality.observe_shadow_cost(shadow_total, wall);
+    }
+  }
+
   if (stats) {
     *stats = InferenceStats{};
     stats->nets = items.size();
@@ -519,9 +603,12 @@ Evaluation WireTimingEstimator::evaluate(
 }
 
 void WireTimingEstimator::save(std::ostream& out) const {
-  tensor::write_header(out, "GNNTRANS_ESTIMATOR", 1);
+  // v2 = v1 (standardizer + model) with the quality baseline appended; the
+  // loader still accepts v1 files (no drift profile).
+  tensor::write_header(out, "GNNTRANS_ESTIMATOR", 2);
   standardizer_.save(out);
   nn::save_model(out, *model_);
+  baseline_.save(out);
 }
 
 void WireTimingEstimator::save_file(const std::string& path) const {
@@ -531,10 +618,17 @@ void WireTimingEstimator::save_file(const std::string& path) const {
 }
 
 WireTimingEstimator WireTimingEstimator::load(std::istream& in) {
-  tensor::check_header(in, "GNNTRANS_ESTIMATOR", 1);
+  const std::uint32_t version = tensor::read_header(in, "GNNTRANS_ESTIMATOR");
+  if (version != 1 && version != 2) {
+    throw UnsupportedCheckpointError(
+        Status(ErrorCode::kUnsupportedFormat,
+               "estimator checkpoint version " + std::to_string(version) +
+                   " (this build reads v1 and v2)"));
+  }
   WireTimingEstimator est;
   est.standardizer_.load(in);
   est.model_ = nn::load_model(in);
+  if (version >= 2) est.baseline_.load(in);  // v1: no drift profile
   return est;
 }
 

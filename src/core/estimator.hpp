@@ -33,6 +33,7 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "core/autoscaler.hpp"
 #include "core/status.hpp"
 #include "core/telemetry/metrics.hpp"
+#include "core/telemetry/quality.hpp"
 #include "core/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "features/dataset.hpp"
@@ -166,6 +168,20 @@ struct BatchOptions {
   std::vector<NetOutcome>* outcomes = nullptr;
 };
 
+/// Thrown by WireTimingEstimator::load on a checkpoint whose format version
+/// this build does not understand (e.g. a file written by a newer build).
+/// Carries a typed core::Status (ErrorCode::kUnsupportedFormat) so callers
+/// can branch on the failure class instead of matching exception strings.
+class UnsupportedCheckpointError : public std::runtime_error {
+ public:
+  explicit UnsupportedCheckpointError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
 /// A trained model + its standardizer, bundled for deployment.
 class WireTimingEstimator {
  public:
@@ -204,10 +220,27 @@ class WireTimingEstimator {
   [[nodiscard]] Evaluation evaluate(
       const std::vector<features::WireRecord>& records) const;
 
+  /// Checkpoint format: "GNNTRANS_ESTIMATOR" v2 = standardizer + model + the
+  /// per-feature quality baseline (telemetry::FeatureBaseline) built at
+  /// train() time. load() also accepts v1 files (pre-quality; baseline stays
+  /// empty and drift monitoring is simply unavailable) and throws a typed
+  /// UnsupportedCheckpointError (ErrorCode::kUnsupportedFormat) on any other
+  /// version instead of misparsing the stream.
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;
   [[nodiscard]] static WireTimingEstimator load(std::istream& in);
   [[nodiscard]] static WireTimingEstimator load_file(const std::string& path);
+
+  /// Training-time per-input-feature distribution profile (empty when loaded
+  /// from a v1 checkpoint). install_quality_baseline() hands a copy to
+  /// telemetry::QualityMonitor::global() so serving can compute feature PSI.
+  [[nodiscard]] const telemetry::FeatureBaseline& feature_baseline() const noexcept {
+    return baseline_;
+  }
+  void install_quality_baseline() const {
+    if (!baseline_.empty())
+      telemetry::QualityMonitor::global().install_baseline(baseline_);
+  }
 
   [[nodiscard]] const nn::WireModel& model() const { return *model_; }
   [[nodiscard]] const features::Standardizer& standardizer() const {
@@ -237,6 +270,7 @@ class WireTimingEstimator {
   std::unique_ptr<nn::WireModel> model_;
   features::Standardizer standardizer_;
   TrainReport train_report_;
+  telemetry::FeatureBaseline baseline_;  ///< training-time feature profile
 };
 
 /// Converts per-path estimates into the SinkTimings run_sta consumes. Paths

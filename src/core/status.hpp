@@ -29,10 +29,11 @@ enum class ErrorCode : std::uint8_t {
   kDeadlineExceeded = 4,      ///< net started after the batch latency budget
   kParseError = 5,            ///< malformed input document (SPEF/Liberty)
   kInternal = 6,              ///< unclassified exception inside the model path
+  kUnsupportedFormat = 7,     ///< checkpoint/file format version not understood
 };
 
 /// Number of distinct ErrorCode values (for per-reason counter arrays).
-inline constexpr std::size_t kErrorCodeCount = 7;
+inline constexpr std::size_t kErrorCodeCount = 8;
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
   switch (code) {
@@ -43,6 +44,7 @@ inline constexpr std::size_t kErrorCodeCount = 7;
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnsupportedFormat: return "unsupported_format";
   }
   return "unknown";
 }

@@ -235,11 +235,14 @@ void FlightRecorder::record(const FlightRecord& record) noexcept {
   FlightRecord rec = record;
   rec.seq = im.next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
   rec.thread_id = ring->thread_id;
+  // Pin on slow/degraded, or when the caller asked explicitly (quality drift
+  // and shadow-outlier events arrive pre-flagged).
+  const bool want_pin = record.pinned != 0;
   rec.pinned = 0;
   const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
   detail::write_slot(ring->recent[h % ring->recent.size()], rec);
   ring->head.store(h + 1, std::memory_order_release);
-  if (rec.slow || rec.degraded) {
+  if (want_pin || rec.slow || rec.degraded) {
     rec.pinned = 1;
     const std::uint64_t p = ring->pinned_head.load(std::memory_order_relaxed);
     detail::write_slot(ring->pinned[p % kPinnedSlots], rec);

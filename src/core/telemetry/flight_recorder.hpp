@@ -113,7 +113,8 @@ class FlightRecorder {
   void set_ring_capacity(std::size_t records);
 
   /// Appends \p record to the calling thread's ring; assigns seq/thread_id
-  /// and pins a copy when the record is slow or degraded.
+  /// and pins a copy when the record is slow or degraded — or when the
+  /// caller set record.pinned itself (quality drift/outlier events).
   void record(const FlightRecord& record) noexcept;
 
   /// {"recorded":N,"dropped":N,"records":[...],"pinned":[...]} — records

@@ -16,6 +16,7 @@
 #include "core/telemetry/flight_recorder.hpp"
 #include "core/telemetry/log.hpp"
 #include "core/telemetry/metrics.hpp"
+#include "core/telemetry/quality.hpp"
 
 namespace gnntrans::telemetry {
 
@@ -172,7 +173,7 @@ void ObsServer::stop() {
 
 void ObsServer::serve_loop() {
   GNNTRANS_LOG_INFO("obs", "serving /metrics /metrics.json /healthz /readyz "
-                           "/buildinfo /flight on %s:%u",
+                           "/buildinfo /flight /quality on %s:%u",
                     config_.addr.c_str(), bound_port_);
   while (running_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
@@ -259,6 +260,14 @@ void ObsServer::handle_connection(int fd) {
                     config_.max_failure_rate);
       return respond(503, "text/plain", body);
     }
+    // Accuracy-aware readiness: a drifted feature distribution or a blown
+    // shadow-residual quantile means the model is answering fast but can no
+    // longer be trusted — stop routing traffic here, same as a crash would.
+    if (std::string reason;
+        QualityMonitor::global().degraded(&reason)) {
+      return respond(503, "text/plain",
+                     "unready: model quality degraded (" + reason + ")\n");
+    }
     return respond(200, "text/plain", "ready\n");
   }
   if (path == "/buildinfo") {
@@ -268,6 +277,10 @@ void ObsServer::handle_connection(int fd) {
     std::ostringstream out;
     FlightRecorder::global().write_json(out);
     return respond(200, "application/json", out.str());
+  }
+  if (path == "/quality") {
+    return respond(200, "application/json",
+                   QualityMonitor::global().state_json());
   }
   respond(404, "text/plain", "unknown path\n");
 }

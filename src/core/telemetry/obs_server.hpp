@@ -8,10 +8,13 @@
 ///   /metrics.json  the same registry as one JSON document
 ///   /healthz       200 "ok" while the process is alive
 ///   /readyz        200 "ready" once a model is loaded AND the lifetime
-///                  serving failure rate is under the configured threshold;
+///                  serving failure rate is under the configured threshold
+///                  AND the quality monitor reports no drift/residual alert;
 ///                  503 with the reason otherwise
 ///   /buildinfo     build/version/pid/uptime JSON
 ///   /flight        recent per-net flight records (FlightRecorder JSON)
+///   /quality       model-quality state (QualityMonitor JSON: shadow residual
+///                  quantiles, per-feature PSI, degradation verdict)
 ///
 /// One background thread accepts and answers sequentially — a scrape every
 /// few seconds, not a web service. Requests are bounded in size and time;

@@ -1,8 +1,10 @@
 #include "core/telemetry/stats_reporter.hpp"
 
+#include <cstdio>
 #include <vector>
 
 #include "core/telemetry/log.hpp"
+#include "core/telemetry/quality.hpp"
 #include "core/telemetry/trace.hpp"
 
 namespace gnntrans::telemetry {
@@ -106,16 +108,32 @@ void StatsReporter::tick() {
                                       : 0.0;
     const double denominator = static_cast<double>(d_nets);
     const TraceRecorder& recorder = TraceRecorder::global();
+
+    // Quality columns, when shadow scoring has data: residual p99 and the
+    // worst feature PSI, so one grep of the interval lines shows accuracy
+    // drift next to throughput.
+    std::string quality_cols;
+    if (QualityMonitor& quality = QualityMonitor::global();
+        quality.active() && quality.shadowed_nets() > 0) {
+      const QualityState qs = quality.compute_state();
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    ", resid-p99 %.1f%%, psi %.3f (%s)", qs.delay_p99_pct,
+                    qs.worst_psi,
+                    qs.worst_feature.empty() ? "-" : qs.worst_feature.c_str());
+      quality_cols = buf;
+    }
     GNNTRANS_LOG_INFO(
         "obs",
         "serving last %.1fs: %llu nets (%.0f nets/s), fallback %.2f%%, "
-        "failed %.2f%%, slow %llu, p50 %.1f us, p99 %.1f us, trace %s 1/%zu",
+        "failed %.2f%%, slow %llu, p50 %.1f us, p99 %.1f us, trace %s 1/%zu%s",
         seconds, static_cast<unsigned long long>(d_nets), rate,
         100.0 * static_cast<double>(d_fallback) / denominator,
         100.0 * static_cast<double>(d_failed) / denominator,
         static_cast<unsigned long long>(d_slow),
         d_latency.quantile(0.50) * 1e6, d_latency.quantile(0.99) * 1e6,
-        recorder.enabled() ? "on" : "off", recorder.effective_sample_every());
+        recorder.enabled() ? "on" : "off", recorder.effective_sample_every(),
+        quality_cols.c_str());
   }
   reports_.fetch_add(1, std::memory_order_relaxed);
 }

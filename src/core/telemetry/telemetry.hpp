@@ -3,7 +3,9 @@
 /// (log.hpp), the sharded metrics registry (metrics.hpp), trace-span
 /// profiling with adaptive sampling (trace.hpp), the per-net flight
 /// recorder (flight_recorder.hpp), the HTTP scrape server (obs_server.hpp),
-/// and the periodic stats reporter (stats_reporter.hpp). Zero external
+/// the periodic stats reporter (stats_reporter.hpp), and the model-quality
+/// monitor (quality.hpp: shadow scoring, feature drift, accuracy-aware
+/// readiness). Zero external
 /// dependencies; see DESIGN.md "Telemetry" for the architecture and
 /// overhead budget.
 #pragma once
@@ -12,5 +14,6 @@
 #include "core/telemetry/log.hpp"
 #include "core/telemetry/metrics.hpp"
 #include "core/telemetry/obs_server.hpp"
+#include "core/telemetry/quality.hpp"
 #include "core/telemetry/stats_reporter.hpp"
 #include "core/telemetry/trace.hpp"

@@ -119,4 +119,33 @@ RawFeatures extract_features(const rcnet::RcNet& net, const NetContext& context)
   return rf;
 }
 
+const std::vector<std::string>& quality_feature_names() {
+  static const std::vector<std::string> names = {
+      // Node features, column order of NodeFeature.
+      "node_cap_value",
+      "node_num_input_nodes",
+      "node_num_output_nodes",
+      "node_tot_input_cap",
+      "node_tot_output_cap",
+      "node_num_connected_res",
+      "node_tot_input_res",
+      "node_tot_output_res",
+      "node_downstream_cap",
+      "node_stage_delay",
+      // Path features, column order of PathFeature.
+      "path_input_slew",
+      "path_drive_strength",
+      "path_drive_function",
+      "path_load_strength",
+      "path_load_function",
+      "path_load_ceff",
+      "path_elmore_delay",
+      "path_d2m_delay",
+      "path_impulse_spread",
+  };
+  static_assert(kNodeFeatureCount == 10 && kPathFeatureCount == 9,
+                "update quality_feature_names when feature columns change");
+  return names;
+}
+
 }  // namespace gnntrans::features

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "cell/library.hpp"
@@ -92,5 +93,19 @@ struct RawFeatures {
 /// Precondition: net.validate() is empty; context.loads covers net.sinks.
 [[nodiscard]] RawFeatures extract_features(const rcnet::RcNet& net,
                                            const NetContext& context);
+
+/// Stable, metric-name-safe ([a-z0-9_]) names for every input feature column,
+/// in monitoring order: the kNodeFeatureCount node columns ("node_*"), then
+/// the kPathFeatureCount path columns ("path_*"). This is the feature axis of
+/// the quality-monitoring baseline (telemetry::FeatureBaseline) — names
+/// become gnntrans_quality_feature_psi_* gauge suffixes, so renames break
+/// dashboards; treat as append-only.
+[[nodiscard]] const std::vector<std::string>& quality_feature_names();
+
+/// quality_feature_names() index of node-feature column 0 (== 0) and of
+/// path-feature column 0 (== kNodeFeatureCount); here for symmetry at call
+/// sites that observe the two matrices separately.
+inline constexpr std::size_t kQualityNodeFeatureBase = 0;
+inline constexpr std::size_t kQualityPathFeatureBase = kNodeFeatureCount;
 
 }  // namespace gnntrans::features

@@ -51,15 +51,19 @@ void write_header(std::ostream& out, const std::string& magic, std::uint32_t ver
 
 void check_header(std::istream& in, const std::string& magic,
                   std::uint32_t expected_version) {
+  const auto version = read_header(in, magic);
+  if (version != expected_version)
+    throw std::runtime_error("serialize: unsupported version " +
+                             std::to_string(version));
+}
+
+std::uint32_t read_header(std::istream& in, const std::string& magic) {
   const auto len = read_pod<std::uint32_t>(in);
   if (len != magic.size()) throw std::runtime_error("serialize: bad magic length");
   std::string found(len, '\0');
   in.read(found.data(), len);
   if (!in || found != magic) throw std::runtime_error("serialize: bad magic");
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != expected_version)
-    throw std::runtime_error("serialize: unsupported version " +
-                             std::to_string(version));
+  return read_pod<std::uint32_t>(in);
 }
 
 void write_doubles(std::ostream& out, const std::vector<double>& values) {

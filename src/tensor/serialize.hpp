@@ -29,6 +29,13 @@ void write_header(std::ostream& out, const std::string& magic, std::uint32_t ver
 void check_header(std::istream& in, const std::string& magic,
                   std::uint32_t expected_version);
 
+/// Validates the magic only and returns the stored version, for formats with
+/// more than one live version (the caller dispatches on the result and
+/// rejects versions it does not understand with a typed error). Throws
+/// std::runtime_error on a bad magic or truncated stream.
+[[nodiscard]] std::uint32_t read_header(std::istream& in,
+                                        const std::string& magic);
+
 /// Writes/reads a vector<double> (normalization statistics).
 void write_doubles(std::ostream& out, const std::vector<double>& values);
 [[nodiscard]] std::vector<double> read_doubles(std::istream& in);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -247,6 +248,38 @@ TEST(HistogramData, MergeOfEmptyOtherIsANoopForAnyBounds) {
   HistogramData rhs({2.0});
   lhs.merge(rhs);
   EXPECT_EQ(lhs.count(), 0u);
+}
+
+TEST(HistogramData, AllMassInOverflowBucketIsStable) {
+  // Every observation beyond the last bound: quantiles at any q must report
+  // the last finite bound (never interpolate past the array, never NaN).
+  HistogramData h({1.0, 2.0, 5.0});
+  for (int i = 0; i < 1000; ++i) h.observe(1e6);
+  EXPECT_EQ(h.count(), 1000u);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 5.0) << q;
+}
+
+TEST(HistogramData, MergeThenQuantileMatchesSingleStream) {
+  // Shard-merge plumbing must not perturb quantiles: one stream observed into
+  // three shards and merged gives the same answers as the unsharded
+  // histogram. Power-of-two values keep the sums exactly representable, so
+  // the sum comparison is legitimately bitwise.
+  HistogramData whole;
+  HistogramData shards[3];
+  for (int i = 0; i < 300; ++i) {
+    const double v = std::ldexp(1.0, -(i % 20));  // 1 down to ~1e-6
+    whole.observe(v);
+    shards[i % 3].observe(v);
+  }
+  HistogramData merged = shards[0];
+  merged.merge(shards[1]);
+  merged.merge(shards[2]);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+  EXPECT_EQ(merged.bucket_counts(), whole.bucket_counts());
+  for (const double q : {0.01, 0.1, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q)) << q;
 }
 
 TEST(HistogramData, DefaultLatencyBoundsAre125Ladder) {

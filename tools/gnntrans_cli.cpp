@@ -50,6 +50,21 @@
 //   --min-threads N     autoscaler floor (default 1)
 //   --max-threads N     autoscaler ceiling (default 0 = hardware threads)
 //
+// Model-quality flags (predict, sta/eco with --model):
+//   --shadow-rate R     shadow-score fraction R of model-served nets against
+//                       the analytic Elmore/D2M baseline (deterministic
+//                       pure-hash sample; 0 = off, default). Residuals and
+//                       per-feature PSI export as gnntrans_quality_* metrics,
+//                       the /quality endpoint, and the stats-interval lines.
+//   --shadow-seed S     seed for the shadow sampling hash (default 1)
+//   --shadow-budget P   shadow-cost budget as a percent of serving wall time;
+//                       the effective rate backs off between batches to stay
+//                       under (0 = no backoff, fully deterministic; default 0)
+//   --psi-alert X       a feature PSI above X flips /readyz to 503
+//                       (default 0.25)
+//   --residual-alert P  shadow delay-residual p99 above P percent flips
+//                       /readyz to 503 (default 50)
+//
 // Telemetry flags (any subcommand; most useful on predict/sta/train):
 //   --log-level L       trace|debug|info|warn|error|off (default info)
 //   --log-json FILE     mirror log records to FILE as JSON lines
@@ -62,8 +77,8 @@
 //   --trace-budget P    tracing overhead budget as a percent of serving wall
 //                       time (default 2); the sampler backs off to stay under
 //   --obs-port P        serve GET /metrics /metrics.json /healthz /readyz
-//                       /buildinfo /flight on P while the command runs
-//                       (0 = ephemeral; the bound port is logged)
+//                       /buildinfo /flight /quality on P while the command
+//                       runs (0 = ephemeral; the bound port is logged)
 //   --obs-addr A        bind address for --obs-port (default 127.0.0.1)
 //   --flight-out FILE   write the flight-recorder JSON on exit; also installs
 //                       a fatal-signal handler that dumps the black box
@@ -252,6 +267,25 @@ int cmd_libgen(const Args& args) {
   return 0;
 }
 
+/// Loads a model checkpoint, installs its quality baseline into the global
+/// monitor (so --shadow-rate can compute feature PSI), and flips readiness.
+/// Reports an unsupported checkpoint version through its typed error code
+/// instead of a generic parse failure.
+core::WireTimingEstimator load_model_file(const std::string& path) {
+  try {
+    core::WireTimingEstimator estimator =
+        core::WireTimingEstimator::load_file(path);
+    estimator.install_quality_baseline();
+    telemetry::set_model_ready(true);
+    return estimator;
+  } catch (const core::UnsupportedCheckpointError& e) {
+    GNNTRANS_LOG_ERROR("cli", "%s: [%s] %s", path.c_str(),
+                       core::to_string(e.status().code()),
+                       e.status().message().c_str());
+    std::exit(2);
+  }
+}
+
 int cmd_train(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
   const auto records = label_nets(load_spef(args.require("spef")), library);
@@ -267,6 +301,7 @@ int cmd_train(const Args& args) {
     GNNTRANS_LOG_INFO("train", "epoch %zu loss %.5f", epoch, loss);
   };
   const auto estimator = core::WireTimingEstimator::train(records, opt);
+  estimator.install_quality_baseline();
   telemetry::set_model_ready(true);
   estimator.save_file(args.require("model"));
   std::printf("trained %s (%zu parameters) in %.1f s -> %s\n",
@@ -279,8 +314,7 @@ int cmd_train(const Args& args) {
 
 int cmd_eval(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
-  const auto estimator =
-      core::WireTimingEstimator::load_file(args.require("model"));
+  const auto estimator = load_model_file(args.require("model"));
   const auto records = label_nets(load_spef(args.require("spef")), library);
   const core::Evaluation eval = estimator.evaluate(records);
   std::printf("nets: %zu paths: %zu\n", records.size(), eval.path_count);
@@ -318,6 +352,32 @@ void apply_serving_flags(const Args& args, core::BatchOptions& options) {
                       fault_p,
                       static_cast<unsigned long long>(cfg.seed));
   }
+
+  // Model-quality monitoring: shadow scoring + drift alerting. Configured
+  // alongside the other serving knobs so every model-serving subcommand
+  // (predict, sta/eco --model) takes the same flags.
+  const double shadow_rate = args.get_double("shadow-rate", 0.0);
+  if (shadow_rate > 0.0) {
+    telemetry::QualityConfig qcfg;
+    qcfg.shadow_rate = shadow_rate;
+    qcfg.shadow_seed = static_cast<std::uint64_t>(args.get_long("shadow-seed", 1));
+    qcfg.overhead_budget_pct = args.get_double("shadow-budget", 0.0);
+    qcfg.psi_alert = args.get_double("psi-alert", qcfg.psi_alert);
+    qcfg.residual_alert_pct =
+        args.get_double("residual-alert", qcfg.residual_alert_pct);
+    telemetry::QualityMonitor::global().configure(qcfg);
+    GNNTRANS_LOG_INFO("cli",
+                      "shadow scoring armed: rate=%.4f seed=%llu budget=%.1f%% "
+                      "psi-alert=%.2f residual-alert=%.0f%%",
+                      shadow_rate,
+                      static_cast<unsigned long long>(qcfg.shadow_seed),
+                      qcfg.overhead_budget_pct, qcfg.psi_alert,
+                      qcfg.residual_alert_pct);
+  } else if (args.get("shadow-seed") || args.get("shadow-budget") ||
+             args.get("psi-alert") || args.get("residual-alert")) {
+    GNNTRANS_LOG_WARN("cli", "quality flags have no effect without "
+                             "--shadow-rate > 0");
+  }
 }
 
 /// Reads --autoscale / --min-threads / --max-threads. Returns nullopt when
@@ -346,9 +406,7 @@ std::optional<core::AutoscalerConfig> autoscale_config_from(const Args& args) {
 
 int cmd_predict(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
-  const auto estimator =
-      core::WireTimingEstimator::load_file(args.require("model"));
-  telemetry::set_model_ready(true);
+  const auto estimator = load_model_file(args.require("model"));
   const auto nets = load_spef(args.require("spef"));
   auto threads =
       static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
@@ -441,8 +499,7 @@ int cmd_sta(const Args& args) {
   if (const auto model_path = args.get("model")) {
     const auto threads =
         static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
-    estimator = core::WireTimingEstimator::load_file(*model_path);
-    telemetry::set_model_ready(true);
+    estimator = load_model_file(*model_path);
     core::EstimatorWireSource source(*estimator, parsed.design, library,
                                      threads);
     core::BatchOptions serving;
@@ -517,8 +574,7 @@ int cmd_eco(const Args& args) {
   core::EstimatorWireSource* estimator_source = nullptr;
   std::optional<core::WireTimingEstimator> estimator;
   if (const auto model_path = args.get("model")) {
-    estimator = core::WireTimingEstimator::load_file(*model_path);
-    telemetry::set_model_ready(true);
+    estimator = load_model_file(*model_path);
     auto src = std::make_unique<core::EstimatorWireSource>(
         *estimator, design, library,
         static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1))));
@@ -545,6 +601,21 @@ int cmd_eco(const Args& args) {
   std::size_t total_retimed = 0;
   std::size_t total_required = 0;
   std::size_t mismatches = 0;
+
+  // Live ECO observability: with --obs-port these counters and the per-edit
+  // flight records make a running ECO session scrapable mid-flight, not just
+  // summarized at exit.
+  auto& registry = telemetry::MetricsRegistry::global();
+  const telemetry::Counter eco_edits = registry.counter(
+      "gnntrans_eco_edits_total", "ECO edits applied via the incremental engine");
+  const telemetry::Counter eco_retimed = registry.counter(
+      "gnntrans_eco_retimed_instances_total",
+      "Instances retimed by incremental ECO updates");
+  const telemetry::Counter eco_verify_failures = registry.counter(
+      "gnntrans_eco_verify_failures_total",
+      "ECO edits whose incremental result diverged from a full run_sta");
+  telemetry::FlightRecorder& flight = telemetry::FlightRecorder::global();
+
   std::printf("%-5s %-52s %9s %9s\n", "edit", "description", "forward",
               "required");
   for (long i = 0; i < edits; ++i) {
@@ -565,6 +636,15 @@ int cmd_eco(const Args& args) {
     }
     total_retimed += edit.retimed + fixup;
     total_required += edit.required_updates;
+    eco_edits.inc();
+    eco_retimed.inc(edit.retimed + fixup);
+    if (flight.enabled()) {
+      telemetry::FlightRecord fr;
+      fr.set_net("eco_edit_" + std::to_string(i));
+      fr.set_outcome(edit.kind_name());
+      fr.total_us = static_cast<float>(edit.retimed + fixup);
+      flight.record(fr);
+    }
     std::printf("%-5ld %-52s %9zu %9zu\n", i, edit.describe().c_str(),
                 edit.retimed + fixup, edit.required_updates);
     if (verify) {
@@ -573,6 +653,15 @@ int cmd_eco(const Args& args) {
       const char* what = "";
       if (!bitwise_equal(inc.result(), full, &what)) {
         ++mismatches;
+        eco_verify_failures.inc();
+        if (flight.enabled()) {
+          telemetry::FlightRecord fr;
+          fr.set_net("eco_edit_" + std::to_string(i));
+          fr.set_outcome("eco_mismatch");
+          fr.set_error(what);
+          fr.degraded = 1;  // pins past ring wrap, like a degraded net
+          flight.record(fr);
+        }
         GNNTRANS_LOG_ERROR("eco",
                            "edit %ld (%s): incremental %s diverges from full "
                            "run_sta",
