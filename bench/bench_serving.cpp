@@ -21,8 +21,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +37,8 @@
 #include "core/telemetry/telemetry.hpp"
 #include "features/dataset.hpp"
 #include "rcnet/generate.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support.hpp"
 
 using namespace gnntrans;
@@ -88,6 +92,17 @@ EvalSet build_eval_set(const cell::CellLibrary& library, std::size_t count) {
   return set;
 }
 
+/// One offered-rate step of the network load sweep.
+struct NetRateRow {
+  double offered_rps = 0.0;   ///< aggregate send rate across all clients
+  double achieved_rps = 0.0;  ///< served responses / wall
+  double p50_us = 0.0;        ///< end-to-end (client clock), served only
+  double p99_us = 0.0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;  ///< typed kOverloaded answers
+  std::uint64_t timeouts = 0;  ///< transport failures / client timeouts
+};
+
 /// The numbers BENCH_serving.json records so the perf trajectory is
 /// comparable across commits.
 struct BenchSummary {
@@ -112,6 +127,11 @@ struct BenchSummary {
   double pinned_best_nets_per_second = 0.0;
   double pinned_best_worker_seconds = 0.0;
   std::size_t pinned_best_threads = 1;
+  // Network front-end: many-client open-loop sweep over the socket path.
+  std::size_t net_clients = 0;
+  std::vector<NetRateRow> net_rows;
+  /// Saturation knee: last offered rate still achieving >= 90% of offered.
+  double net_knee_offered_rps = 0.0;
 };
 
 void write_summary_json(const std::string& path, const BenchSummary& s) {
@@ -120,41 +140,54 @@ void write_summary_json(const std::string& path, const BenchSummary& s) {
     GNNTRANS_LOG_ERROR("bench", "cannot open %s for write", path.c_str());
     return;
   }
-  char buf[2048];
-  std::snprintf(buf, sizeof(buf),
-                "{\n"
-                "  \"nets_per_second\": %.1f,\n"
-                "  \"p50_us\": %.2f,\n"
-                "  \"p99_us\": %.2f,\n"
-                "  \"tracing_overhead_pct\": %.3f,\n"
-                "  \"tracing_overhead_adaptive_pct\": %.3f,\n"
-                "  \"effective_sample_every\": %zu,\n"
-                "  \"fallback_overhead_pct\": %.3f,\n"
-                "  \"shadow_overhead_pct_rate1\": %.3f,\n"
-                "  \"shadow_overhead_pct_rate5\": %.3f,\n"
-                "  \"shadow_overhead_pct_rate25\": %.3f,\n"
-                "  \"shadow_overhead_budget_pct\": %.1f,\n"
-                "  \"shadow_under_budget\": %s,\n"
-                "  \"autoscale_nets_per_second\": %.1f,\n"
-                "  \"autoscale_worker_seconds\": %.4f,\n"
-                "  \"autoscale_resizes\": %zu,\n"
-                "  \"autoscale_bitwise_identical\": %s,\n"
-                "  \"pinned_best_nets_per_second\": %.1f,\n"
-                "  \"pinned_best_worker_seconds\": %.4f,\n"
-                "  \"pinned_best_threads\": %zu\n"
-                "}\n",
-                s.nets_per_second, s.p50_us, s.p99_us, s.tracing_overhead_pct,
-                s.tracing_overhead_adaptive_pct, s.effective_sample_every,
-                s.fallback_overhead_pct, s.shadow_overhead_pct_rate1,
-                s.shadow_overhead_pct_rate5, s.shadow_overhead_pct_rate25,
-                s.shadow_overhead_budget_pct,
-                s.shadow_under_budget ? "true" : "false",
-                s.autoscale_nets_per_second,
-                s.autoscale_worker_seconds, s.autoscale_resizes,
-                s.autoscale_bitwise_identical ? "true" : "false",
-                s.pinned_best_nets_per_second, s.pinned_best_worker_seconds,
-                s.pinned_best_threads);
-  out << buf;
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  auto num = [&json](const char* key, double v, int prec) {
+    json << "  \"" << key << "\": " << std::setprecision(prec) << v << ",\n";
+  };
+  auto count = [&json](const char* key, std::uint64_t v) {
+    json << "  \"" << key << "\": " << v << ",\n";
+  };
+  auto flag = [&json](const char* key, bool v) {
+    json << "  \"" << key << "\": " << (v ? "true" : "false") << ",\n";
+  };
+  json << "{\n";
+  num("nets_per_second", s.nets_per_second, 1);
+  num("p50_us", s.p50_us, 2);
+  num("p99_us", s.p99_us, 2);
+  num("tracing_overhead_pct", s.tracing_overhead_pct, 3);
+  num("tracing_overhead_adaptive_pct", s.tracing_overhead_adaptive_pct, 3);
+  count("effective_sample_every", s.effective_sample_every);
+  num("fallback_overhead_pct", s.fallback_overhead_pct, 3);
+  num("shadow_overhead_pct_rate1", s.shadow_overhead_pct_rate1, 3);
+  num("shadow_overhead_pct_rate5", s.shadow_overhead_pct_rate5, 3);
+  num("shadow_overhead_pct_rate25", s.shadow_overhead_pct_rate25, 3);
+  num("shadow_overhead_budget_pct", s.shadow_overhead_budget_pct, 1);
+  flag("shadow_under_budget", s.shadow_under_budget);
+  num("autoscale_nets_per_second", s.autoscale_nets_per_second, 1);
+  num("autoscale_worker_seconds", s.autoscale_worker_seconds, 4);
+  count("autoscale_resizes", s.autoscale_resizes);
+  flag("autoscale_bitwise_identical", s.autoscale_bitwise_identical);
+  num("pinned_best_nets_per_second", s.pinned_best_nets_per_second, 1);
+  num("pinned_best_worker_seconds", s.pinned_best_worker_seconds, 4);
+  count("pinned_best_threads", s.pinned_best_threads);
+  json << "  \"serving_net\": {\n"
+       << "    \"clients\": " << s.net_clients << ",\n"
+       << "    \"knee_offered_rps\": " << std::setprecision(1)
+       << s.net_knee_offered_rps << ",\n"
+       << "    \"rows\": [\n";
+  for (std::size_t i = 0; i < s.net_rows.size(); ++i) {
+    const NetRateRow& r = s.net_rows[i];
+    json << "      {\"offered_rps\": " << std::setprecision(1) << r.offered_rps
+         << ", \"achieved_rps\": " << r.achieved_rps
+         << ", \"p50_us\": " << std::setprecision(2) << r.p50_us
+         << ", \"p99_us\": " << r.p99_us << ", \"served\": " << r.served
+         << ", \"rejected\": " << r.rejected
+         << ", \"timeouts\": " << r.timeouts << "}"
+         << (i + 1 < s.net_rows.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  }\n}\n";
+  out << json.str();
   GNNTRANS_LOG_INFO("bench", "wrote %s", path.c_str());
 }
 
@@ -547,6 +580,125 @@ int main(int argc, char** argv) {
               : 0.0,
           summary.autoscale_bitwise_identical ? "identical" : "DIFFERENT");
     }
+  }
+
+  // Network front-end: the same estimator behind serve::NetServer, driven by
+  // 8 concurrent clients over real sockets. Each client fires on a fixed
+  // schedule derived from the offered rate; when it falls behind (previous
+  // request still in flight) it fires again immediately, so past saturation
+  // the achieved/offered gap and the latency percentiles carry the signal
+  // (in-flight load is bounded at one request per client, so the bounded
+  // admission queue is exercised by the soak test, not here). Offered rates
+  // are multiples of the measured T=1 in-process capacity, so the saturation
+  // knee (last rate with achieved >= 90% of offered) always lands inside the
+  // sweep. Retries are disabled: every request resolves to exactly one of
+  // served / typed kOverloaded reject / timeout.
+  std::printf("\n=== Network serving: open-loop load sweep (8 clients) ===\n\n");
+  {
+    constexpr std::size_t kClients = 8;
+    serve::NetServerConfig scfg;
+    scfg.port = 0;  // ephemeral
+    scfg.threads = 1;
+    scfg.batch_max = 32;
+    scfg.flush_age_seconds = 1e-3;
+    scfg.queue_capacity = 256;
+    serve::NetServer server(estimator, scfg);
+    server.start();
+
+    struct ClientTally {
+      std::vector<double> lat_us;
+      std::uint64_t served = 0, rejected = 0, timeouts = 0;
+    };
+    summary.net_clients = kClients;
+    const std::vector<double> load_factors = {0.25, 0.5, 1.0, 1.5, 2.0};
+    bench::TablePrinter net_table({"offered/s", "achieved/s", "p50(us)",
+                                   "p99(us)", "served", "rejected", "timeout"},
+                                  {10, 11, 9, 10, 8, 9, 8});
+    net_table.print_header();
+    for (std::size_t step = 0; step < load_factors.size(); ++step) {
+      const double offered = load_factors[step] * summary.nets_per_second;
+      const double period_s = static_cast<double>(kClients) / offered;
+      const std::size_t per_client = std::clamp<std::size_t>(
+          static_cast<std::size_t>(offered * 0.5 / kClients), 24, 400);
+      std::vector<ClientTally> tallies(kClients);
+      const auto sweep_t0 = Clock::now();
+      std::vector<std::thread> workers;
+      workers.reserve(kClients);
+      for (std::size_t c = 0; c < kClients; ++c) {
+        workers.emplace_back([&, c] {
+          serve::NetClientConfig ccfg;
+          ccfg.port = server.port();
+          ccfg.request_timeout_ms = 2000;
+          ccfg.max_retries = 0;
+          ccfg.retry_overloaded = false;
+          ccfg.client_id = static_cast<std::uint32_t>(step * 100 + c + 1);
+          serve::NetClient client(ccfg);
+          ClientTally& tally = tallies[c];
+          const auto start = Clock::now();
+          for (std::size_t i = 0; i < per_client; ++i) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(i) * period_s)));
+            const std::size_t idx = (c + i * kClients) % set.items.size();
+            const auto t0 = Clock::now();
+            const serve::NetClient::Result res =
+                client.estimate(set.nets[idx], set.contexts[idx]);
+            if (res.served()) {
+              ++tally.served;
+              tally.lat_us.push_back(
+                  std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                      .count());
+            } else if (res.status.code() == core::ErrorCode::kOverloaded) {
+              ++tally.rejected;
+            } else {
+              ++tally.timeouts;
+            }
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - sweep_t0).count();
+
+      NetRateRow row;
+      row.offered_rps = offered;
+      std::vector<double> lat;
+      for (const ClientTally& tally : tallies) {
+        row.served += tally.served;
+        row.rejected += tally.rejected;
+        row.timeouts += tally.timeouts;
+        lat.insert(lat.end(), tally.lat_us.begin(), tally.lat_us.end());
+      }
+      std::sort(lat.begin(), lat.end());
+      if (!lat.empty()) {
+        row.p50_us = lat[lat.size() / 2];
+        row.p99_us = lat[(lat.size() * 99) / 100];
+      }
+      row.achieved_rps = wall > 0.0 ? static_cast<double>(row.served) / wall : 0.0;
+      if (row.achieved_rps >= 0.9 * row.offered_rps)
+        summary.net_knee_offered_rps = row.offered_rps;
+      summary.net_rows.push_back(row);
+      net_table.print_row(
+          {bench::TablePrinter::fmt(row.offered_rps, 0),
+           bench::TablePrinter::fmt(row.achieved_rps, 0),
+           bench::TablePrinter::fmt(row.p50_us, 1),
+           bench::TablePrinter::fmt(row.p99_us, 1),
+           std::to_string(row.served), std::to_string(row.rejected),
+           std::to_string(row.timeouts)});
+    }
+    server.stop();
+    const auto& ledger = server.ledger();
+    std::printf(
+        "\nsaturation knee: %.0f req/s offered (last rate with achieved >= "
+        "90%% of offered)\nserver ledger: %llu frames, %llu served, %llu "
+        "rejected (%llu overload), %llu batches\n",
+        summary.net_knee_offered_rps,
+        static_cast<unsigned long long>(ledger.frames.load()),
+        static_cast<unsigned long long>(ledger.served.load()),
+        static_cast<unsigned long long>(ledger.rejected_total()),
+        static_cast<unsigned long long>(ledger.rejected_overload.load()),
+        static_cast<unsigned long long>(ledger.batches.load()));
   }
 
   // Metrics snapshot: everything the run above published to the global

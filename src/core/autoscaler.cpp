@@ -69,19 +69,28 @@ void PoolAutoscaler::observe(const InferenceStats& batch) {
 }
 
 AutoscaleDecision PoolAutoscaler::decide(std::size_t offered,
-                                         std::size_t current) {
+                                         std::size_t current,
+                                         const QueueSignal& queue) {
   current = std::max<std::size_t>(1, current);
+  // Backlogged requests are demand just as real as the offered batch, and a
+  // queue aging past twice the drain budget means the pool is losing ground
+  // *now* — that urgency overrides the damping (deadband, idle-pool guard,
+  // cooldown) whose whole purpose is to ignore transient wiggles.
+  const std::size_t effective = offered + queue.depth;
+  const bool urgent =
+      queue.oldest_age_seconds > 2.0 * config_.target_batch_seconds;
+
   AutoscaleDecision d;
   d.previous = current;
   d.target = current;
   d.utilization = utilization_;
-  d.predicted_seconds = static_cast<double>(offered) * ewma_net_seconds_;
+  d.predicted_seconds = static_cast<double>(effective) * ewma_net_seconds_;
 
   const std::size_t lo = config_.min_threads;
-  // Never more workers than nets: extra workers can only idle.
+  // Never more workers than work items: extra workers can only idle.
   const std::size_t hi =
       std::max(lo, std::min(config_.max_threads,
-                            offered > 0 ? offered : std::size_t{1}));
+                            effective > 0 ? effective : std::size_t{1}));
 
   // Demand: workers needed to drain the offered load within the batch budget.
   std::size_t demand = current;
@@ -105,11 +114,14 @@ AutoscaleDecision PoolAutoscaler::decide(std::size_t offered,
     d.reason = "bounds";
   } else if (!warm_) {
     d.reason = "cold";
-  } else if (cooldown_left_ > 0) {
+  } else if (cooldown_left_ > 0 && !(urgent && ideal > current)) {
     --cooldown_left_;
     d.reason = "cooldown";
   } else if (ideal > current) {
-    if (utilization_ < config_.min_grow_utilization) {
+    if (urgent) {
+      d.target = ideal;
+      d.reason = "urgent";
+    } else if (utilization_ < config_.min_grow_utilization) {
       d.reason = "idle-pool";
     } else if (static_cast<double>(ideal) <
                static_cast<double>(current) * config_.grow_deadband) {
@@ -134,7 +146,7 @@ AutoscaleDecision PoolAutoscaler::decide(std::size_t offered,
     d.direction = ScaleDirection::kShrink;
   }
   if (d.resized()) {
-    d.reason = to_string(d.direction);
+    if (d.reason[0] == '\0') d.reason = to_string(d.direction);
     cooldown_left_ = config_.cooldown_batches;
     ++resizes_;
   }

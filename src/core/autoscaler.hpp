@@ -64,6 +64,19 @@ struct AutoscalerConfig {
   std::size_t cooldown_batches = 2;
 };
 
+/// Backlog state behind the batch being decided for. The network front-end
+/// (serve::NetServer) coalesces cross-client requests into a bounded queue;
+/// what is *offered* to the next batch understates demand when more requests
+/// are already waiting behind it, and an aging queue means the pool is losing
+/// ground right now. Both signals feed decide(): depth joins the demand term,
+/// and age past the drain budget overrides the grow hysteresis (deadband and
+/// cooldown) — backlog that is getting older is exactly the situation the
+/// deadbands exist to *not* damp.
+struct QueueSignal {
+  std::size_t depth = 0;           ///< requests queued behind the batch
+  double oldest_age_seconds = 0.0; ///< age of the oldest queued request
+};
+
 enum class ScaleDirection : std::uint8_t { kHold = 0, kGrow = 1, kShrink = 2 };
 
 [[nodiscard]] constexpr const char* to_string(ScaleDirection d) noexcept {
@@ -85,7 +98,8 @@ struct AutoscaleDecision {
   double predicted_seconds = 0.0; ///< offered * service-time EWMA
   double utilization = 0.0;       ///< busy fraction of the last batch's pool
   /// Why the pool held (or moved): "cold", "cooldown", "deadband",
-  /// "idle-pool", "steady", "bounds", "grow", "shrink".
+  /// "idle-pool", "steady", "bounds", "grow", "shrink", "urgent" (a grow
+  /// forced past the hysteresis by an aging serve queue).
   const char* reason = "";
 
   [[nodiscard]] bool resized() const noexcept {
@@ -113,7 +127,17 @@ class PoolAutoscaler {
   /// should move, a flight-recorder event; the caller performs the actual
   /// pool + workspace resize.
   [[nodiscard]] AutoscaleDecision decide(std::size_t offered,
-                                         std::size_t current);
+                                         std::size_t current) {
+    return decide(offered, current, QueueSignal{});
+  }
+
+  /// decide() with the serving queue's backlog folded in: demand covers
+  /// offered + queue.depth, the per-batch ceiling allows for the backlog, and
+  /// a queue older than 2x target_batch_seconds is *urgent* — grow skips the
+  /// deadband, the idle-pool guard, and any cooldown in progress.
+  [[nodiscard]] AutoscaleDecision decide(std::size_t offered,
+                                         std::size_t current,
+                                         const QueueSignal& queue);
 
   /// Per-net service-time EWMA in seconds (0 until the first observe()).
   [[nodiscard]] double service_time_ewma() const noexcept {

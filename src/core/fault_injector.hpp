@@ -20,16 +20,37 @@
 
 namespace gnntrans::core {
 
-/// Where in the per-net serving pipeline a fault can be injected.
+/// Where in the per-net serving pipeline a fault can be injected. Sites 0-4
+/// live inside estimate_batch's degradation ladder; sites 5-8 are the network
+/// front-end's socket pipeline (src/serve), keyed by accept sequence or the
+/// client-chosen request key so soak tests stay deterministic per attempt.
 enum class FaultSite : std::uint8_t {
   kValidate = 0,   ///< pre-flight net validation reports failure
   kFeaturize = 1,  ///< feature/path extraction throws
   kForward = 2,    ///< model forward pass throws (worker-exception path)
   kNonFinite = 3,  ///< forward output flagged as NaN/Inf
   kDeadline = 4,   ///< net treated as past the batch deadline
+  kAccept = 5,     ///< accepted connection closed before any exchange
+  kNetRead = 6,    ///< request frame treated as torn mid-read (conn closed)
+  kNetWrite = 7,   ///< response write treated as failed (conn closed)
+  kNetDecode = 8,  ///< decoded request treated as malformed (typed reject)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 9;
+
+/// Bitmask helpers for Config::site_mask.
+[[nodiscard]] constexpr std::uint32_t site_bit(FaultSite site) noexcept {
+  return 1u << static_cast<std::uint32_t>(site);
+}
+/// The estimate_batch ladder sites (the pre-network injector surface).
+inline constexpr std::uint32_t kServingSiteMask =
+    site_bit(FaultSite::kValidate) | site_bit(FaultSite::kFeaturize) |
+    site_bit(FaultSite::kForward) | site_bit(FaultSite::kNonFinite) |
+    site_bit(FaultSite::kDeadline);
+/// The socket-pipeline sites consulted by serve::NetServer.
+inline constexpr std::uint32_t kNetworkSiteMask =
+    site_bit(FaultSite::kAccept) | site_bit(FaultSite::kNetRead) |
+    site_bit(FaultSite::kNetWrite) | site_bit(FaultSite::kNetDecode);
 
 [[nodiscard]] constexpr const char* to_string(FaultSite site) noexcept {
   switch (site) {
@@ -38,6 +59,10 @@ inline constexpr std::size_t kFaultSiteCount = 5;
     case FaultSite::kForward: return "forward";
     case FaultSite::kNonFinite: return "non_finite";
     case FaultSite::kDeadline: return "deadline";
+    case FaultSite::kAccept: return "accept";
+    case FaultSite::kNetRead: return "net_read";
+    case FaultSite::kNetWrite: return "net_write";
+    case FaultSite::kNetDecode: return "net_decode";
   }
   return "unknown";
 }

@@ -30,10 +30,17 @@ enum class ErrorCode : std::uint8_t {
   kParseError = 5,            ///< malformed input document (SPEF/Liberty)
   kInternal = 6,              ///< unclassified exception inside the model path
   kUnsupportedFormat = 7,     ///< checkpoint/file format version not understood
+  // Network serving front-end (src/serve) codes. They ride the same taxonomy
+  // so wire responses carry exactly a core::Status and telemetry counts
+  // rejects by reason with the same per-code machinery as the ladder.
+  kOverloaded = 8,      ///< admission queue full; request load-shed (typed)
+  kMalformedFrame = 9,  ///< length-prefixed frame failed protocol decode
+  kShuttingDown = 10,   ///< server draining; no new requests admitted
+  kTimeout = 11,        ///< client-side request timeout / retries exhausted
 };
 
 /// Number of distinct ErrorCode values (for per-reason counter arrays).
-inline constexpr std::size_t kErrorCodeCount = 8;
+inline constexpr std::size_t kErrorCodeCount = 12;
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
   switch (code) {
@@ -45,6 +52,10 @@ inline constexpr std::size_t kErrorCodeCount = 8;
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kUnsupportedFormat: return "unsupported_format";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kMalformedFrame: return "malformed_frame";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kTimeout: return "timeout";
   }
   return "unknown";
 }

@@ -1,0 +1,156 @@
+#include "core/telemetry/net_io.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "core/telemetry/metrics.hpp"
+
+namespace gnntrans::telemetry {
+
+namespace {
+
+Counter& send_failure_counter() {
+  static Counter counter = MetricsRegistry::global().counter(
+      "gnntrans_obs_send_failures_total",
+      "Socket sends (obs scrape responses and serve frames) that failed or "
+      "timed out before the full payload was written");
+  return counter;
+}
+
+/// Milliseconds left until \p deadline, clamped to >= 0; -1 when no deadline.
+int remaining_ms(bool bounded,
+                 std::chrono::steady_clock::time_point deadline) noexcept {
+  if (!bounded) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+}  // namespace
+
+std::uint64_t send_failures_total() noexcept {
+  return send_failure_counter().value();
+}
+
+bool send_all(int fd, std::string_view data, int timeout_ms) noexcept {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait = remaining_ms(bounded, deadline);
+      if (wait == 0) break;  // timeout: slow client, stop here
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, wait);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) break;  // timeout or poll error
+      continue;
+    }
+    break;  // peer went away or hard error
+  }
+  if (off == data.size()) return true;
+  send_failure_counter().inc();
+  return false;
+}
+
+IoResult recv_some(int fd, char* buf, std::size_t cap, int timeout_ms,
+                   std::size_t* got) noexcept {
+  if (got) *got = 0;
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int wait = remaining_ms(bounded, deadline);
+    if (bounded && wait == 0) return IoResult::kTimeout;
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) return IoResult::kError;
+    if (ready == 0) return IoResult::kTimeout;
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+      if (got) *got = static_cast<std::size_t>(n);
+      return IoResult::kOk;
+    }
+    if (n == 0) return IoResult::kEof;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoResult::kError;
+  }
+}
+
+int bind_listener(const std::string& addr, std::uint16_t port, int backlog,
+                  std::uint16_t* bound_port, std::string* error, int attempts,
+                  int backoff_initial_ms) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+    if (error) *error = "unparseable address '" + addr + "'";
+    return -1;
+  }
+
+  const auto describe = [&](const char* what) {
+    return std::string(what) + " " + addr + ":" + std::to_string(port) +
+           " failed: " + std::strerror(errno);
+  };
+
+  int backoff_ms = backoff_initial_ms;
+  for (int attempt = 0; attempt < std::max(1, attempts); ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (error) *error = describe("socket()");
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+      const bool in_use = errno == EADDRINUSE;
+      if (error) *error = describe("bind");
+      ::close(fd);
+      // Only EADDRINUSE is transient (a lingering socket from the previous
+      // run); anything else (EACCES, bad address) will not heal with time.
+      if (in_use && attempt + 1 < std::max(1, attempts)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+        continue;
+      }
+      return -1;
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      if (error) *error = describe("getsockname");
+      ::close(fd);
+      return -1;
+    }
+    if (::listen(fd, backlog) < 0) {
+      if (error) *error = describe("listen");
+      ::close(fd);
+      return -1;
+    }
+    if (bound_port) *bound_port = ntohs(bound.sin_port);
+    if (error) error->clear();
+    return fd;
+  }
+  return -1;  // unreachable: the loop returns on every path
+}
+
+}  // namespace gnntrans::telemetry

@@ -1,0 +1,76 @@
+/// \file net_io.hpp
+/// Shared raw-POSIX socket plumbing for the observability scrape server and
+/// the network serving front-end (src/serve).
+///
+/// Both servers speak over plain AF_INET stream sockets with the same three
+/// needs: a listener that survives back-to-back process restarts (EADDRINUSE
+/// retry with backoff, port 0 = ephemeral), a bounded-time send that *reports*
+/// failure instead of silently dropping the tail of a response, and a
+/// bounded-time receive. Failures on the send path are counted in one shared
+/// counter, gnntrans_obs_send_failures_total, so a dashboards-visible signal
+/// exists whether the drop happened on a /metrics scrape or a timing
+/// response frame.
+///
+/// Everything here is layering-clean for gnntrans_telemetry: no dependency on
+/// core (fault injection is consulted by the serve layer at its own call
+/// sites, never inside these primitives).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gnntrans::telemetry {
+
+/// Outcome of a bounded-time socket receive.
+enum class IoResult : std::uint8_t {
+  kOk = 0,       ///< at least one byte transferred
+  kEof = 1,      ///< orderly peer shutdown (recv returned 0)
+  kTimeout = 2,  ///< deadline elapsed before any byte moved
+  kError = 3,    ///< socket error (errno-level failure)
+};
+
+[[nodiscard]] constexpr const char* to_string(IoResult r) noexcept {
+  switch (r) {
+    case IoResult::kOk: return "ok";
+    case IoResult::kEof: return "eof";
+    case IoResult::kTimeout: return "timeout";
+    case IoResult::kError: return "error";
+  }
+  return "unknown";
+}
+
+/// Sends all of \p data on \p fd, polling for writability up to
+/// \p timeout_ms per wait (-1 = block indefinitely). MSG_NOSIGNAL, EINTR
+/// retried. On any failure (peer gone, timeout, error) the shared
+/// gnntrans_obs_send_failures_total counter is incremented and false is
+/// returned — the caller decides whether that means "scrape client went away,
+/// fine" (log + move on) or "response dropped, close the connection".
+bool send_all(int fd, std::string_view data, int timeout_ms = -1) noexcept;
+
+/// Receives up to \p cap bytes into \p buf, waiting at most \p timeout_ms
+/// (-1 = forever) for readability. \p got receives the byte count on kOk.
+[[nodiscard]] IoResult recv_some(int fd, char* buf, std::size_t cap,
+                                 int timeout_ms, std::size_t* got) noexcept;
+
+/// Creates, binds, and listens an AF_INET stream socket on \p addr:\p port.
+///
+/// port 0 binds an ephemeral port; the actual port is written to
+/// \p bound_port. SO_REUSEADDR is always set, and a bind that still fails
+/// with EADDRINUSE (a previous process's socket lingering in TIME_WAIT with
+/// an active wildcard conflict, the classic back-to-back-ctest flake) is
+/// retried \p attempts times with exponential backoff starting at
+/// \p backoff_initial_ms.
+///
+/// Returns the listening fd, or -1 with a human-readable reason in \p error.
+[[nodiscard]] int bind_listener(const std::string& addr, std::uint16_t port,
+                                int backlog, std::uint16_t* bound_port,
+                                std::string* error, int attempts = 5,
+                                int backoff_initial_ms = 50);
+
+/// The shared send-failure tally (also reachable by name from the registry).
+/// Exposed so tests can read the counter without re-registering it.
+[[nodiscard]] std::uint64_t send_failures_total() noexcept;
+
+}  // namespace gnntrans::telemetry

@@ -1,6 +1,7 @@
 #include "core/telemetry/obs_server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -16,6 +17,7 @@
 #include "core/telemetry/flight_recorder.hpp"
 #include "core/telemetry/log.hpp"
 #include "core/telemetry/metrics.hpp"
+#include "core/telemetry/net_io.hpp"
 #include "core/telemetry/quality.hpp"
 
 namespace gnntrans::telemetry {
@@ -53,17 +55,6 @@ std::string make_response(int status, std::string_view content_type,
   out += "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;
-}
-
-void send_all(int fd, std::string_view data) noexcept {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // peer went away; scrape clients retry
-    off += static_cast<std::size_t>(n);
-  }
 }
 
 /// Lifetime serving failure rate from the global registry. counter() is
@@ -124,37 +115,19 @@ ObsServer::~ObsServer() { stop(); }
 void ObsServer::start() {
   if (running()) return;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.addr.c_str(), &addr.sin_addr) != 1)
-    throw std::runtime_error("obs server: unparseable address '" +
-                             config_.addr + "'");
+  // Shared listener helper: SO_REUSEADDR + EADDRINUSE retry/backoff (the
+  // back-to-back ctest port-reuse flake) + port-0 ephemeral resolution.
+  std::string error;
+  listen_fd_ = bind_listener(config_.addr, config_.port, config_.backlog,
+                             &bound_port_, &error);
+  if (listen_fd_ < 0) throw std::runtime_error("obs server: " + error);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0)
-    throw std::runtime_error("obs server: socket() failed: " +
-                             std::string(std::strerror(errno)));
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  const auto fail = [this](const char* what) {
+  if (::pipe(wake_pipe_) < 0) {
     const std::string detail = std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
-    throw std::runtime_error("obs server: " + std::string(what) + " " +
-                             config_.addr + ":" + std::to_string(config_.port) +
-                             " failed: " + detail);
-  };
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
-    fail("bind");
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
-    fail("getsockname");
-  bound_port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, config_.backlog) < 0) fail("listen");
-
-  if (::pipe(wake_pipe_) < 0) fail("self-pipe");
+    throw std::runtime_error("obs server: self-pipe failed: " + detail);
+  }
 
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serve_loop(); });
@@ -186,6 +159,10 @@ void ObsServer::serve_loop() {
     if (!(fds[0].revents & POLLIN)) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    // Non-blocking so send_all's write timeout can engage on a slow client
+    // (a blocking send would stall the single serving thread indefinitely).
+    const int flags = ::fcntl(conn, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(conn, F_SETFL, flags | O_NONBLOCK);
     handle_connection(conn);
     ::close(conn);
   }
@@ -198,7 +175,16 @@ void ObsServer::handle_connection(int fd) {
   const auto respond = [&](int status, std::string_view type,
                            std::string_view body) {
     if (status >= 400) metrics.errors.inc();
-    send_all(fd, make_response(status, type, body));
+    // send_all reports failure (and counts it in the shared
+    // gnntrans_obs_send_failures_total) instead of silently truncating the
+    // scrape; a slow client is bounded by the same request timeout as reads.
+    if (!send_all(fd, make_response(status, type, body),
+                  config_.request_timeout_ms)) {
+      GNNTRANS_LOG_WARN("obs",
+                        "dropped %zu-byte response (status %d): client gone "
+                        "or write timed out",
+                        body.size(), status);
+    }
   };
 
   // Read until the end of the request head, a size/time bound, or EOF.
@@ -219,7 +205,8 @@ void ObsServer::handle_connection(int fd) {
     if (ready <= 0) return respond(408, "text/plain", "request timeout\n");
     char buf[2048];
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
     if (n <= 0) break;  // client closed before finishing the head
     request.append(buf, static_cast<std::size_t>(n));
   }

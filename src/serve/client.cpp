@@ -1,0 +1,177 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "core/telemetry/net_io.hpp"
+
+namespace gnntrans::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+}  // namespace
+
+NetClient::NetClient(NetClientConfig config) : config_(std::move(config)) {}
+
+NetClient::~NetClient() { disconnect(); }
+
+void NetClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  read_buffer_.clear();
+}
+
+bool NetClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.addr.c_str(), &sa.sin_addr) != 1)
+    return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  // Non-blocking connect so the connect timeout is enforceable; the socket
+  // stays non-blocking afterwards (send_all/recv_some poll as needed).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, config_.connect_timeout_ms) <= 0) {
+      ::close(fd);
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  read_buffer_.clear();
+  return true;
+}
+
+bool NetClient::read_response(std::uint64_t request_id,
+                              ResponseFrame* response) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
+  for (;;) {
+    std::string payload;
+    const FrameStatus fs =
+        try_extract_frame(read_buffer_, &payload, kDefaultMaxFrameBytes);
+    if (fs == FrameStatus::kOversize) return false;  // stream unrecoverable
+    if (fs == FrameStatus::kFrame) {
+      if (!decode_response(payload, response).ok()) return false;
+      if (response->request_id == request_id || response->request_id == 0)
+        return true;  // id 0 = connection-level reject, addressed to us too
+      continue;  // stale answer to an attempt we already gave up on
+    }
+    const int wait = remaining_ms(deadline);
+    if (wait == 0) return false;
+    char buf[4096];
+    std::size_t got = 0;
+    switch (telemetry::recv_some(fd_, buf, sizeof(buf), wait, &got)) {
+      case telemetry::IoResult::kOk:
+        read_buffer_.append(buf, got);
+        break;
+      case telemetry::IoResult::kEof:
+      case telemetry::IoResult::kTimeout:
+      case telemetry::IoResult::kError:
+        return false;
+    }
+  }
+}
+
+NetClient::Result NetClient::estimate(const rcnet::RcNet& net,
+                                      const features::NetContext& context,
+                                      std::uint32_t deadline_us) {
+  Result result;
+  RequestFrame request;
+  request.request_id =
+      (static_cast<std::uint64_t>(config_.client_id) << 32) | next_seq_++;
+  request.deadline_us = deadline_us;
+  request.net = net;
+  request.context = context;
+
+  int backoff_ms = config_.backoff_initial_ms;
+  const int total_attempts = 1 + std::max(0, config_.max_retries);
+  for (int attempt = 0; attempt < total_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+    }
+    ++result.attempts;
+    // The wire carries the attempt number: deterministic fault injection
+    // keys on it, so a retry re-rolls its fault dice instead of hitting the
+    // same injected failure forever.
+    request.attempt = static_cast<std::uint32_t>(attempt);
+
+    if (!ensure_connected()) {
+      ++result.transport_failures;
+      continue;
+    }
+    if (!telemetry::send_all(fd_, encode_request(request),
+                             config_.request_timeout_ms)) {
+      ++result.transport_failures;
+      disconnect();
+      continue;
+    }
+    ResponseFrame response;
+    if (!read_response(request.request_id, &response)) {
+      ++result.transport_failures;
+      disconnect();  // a late answer must not bleed into the next request
+      continue;
+    }
+
+    switch (response.status) {
+      case core::ErrorCode::kOverloaded:
+        ++result.overload_rejects;
+        if (config_.retry_overloaded) continue;  // shed: back off and retry
+        break;                                   // caller wants the reject
+      case core::ErrorCode::kMalformedFrame:
+        // Transient by construction here: our frames are well-formed, so
+        // this is an injected decode fault (or corruption) — retry.
+        continue;
+      default:
+        break;
+    }
+    // Terminal: served (kOk or a degraded ladder status with paths) or a
+    // typed reject retrying cannot fix (kShuttingDown, kDeadlineExceeded…).
+    result.status = core::Status(response.status, std::move(response.message));
+    result.provenance = response.provenance;
+    result.paths = std::move(response.paths);
+    return result;
+  }
+  result.status = core::Status(
+      core::ErrorCode::kTimeout,
+      "no response after " + std::to_string(result.attempts) + " attempts");
+  return result;
+}
+
+}  // namespace gnntrans::serve

@@ -1,0 +1,104 @@
+/// \file client.hpp
+/// Blocking client for the network serving front-end.
+///
+/// One NetClient owns one connection (re-established transparently after any
+/// transport failure) and runs one request at a time: encode, send, then read
+/// frames until the response whose request_id/attempt matches. Retry policy:
+///
+///   transport failure (connect/send/recv/EOF)  -> reconnect + retry
+///   client-side timeout waiting for the answer -> reconnect + retry
+///   typed kOverloaded / kMalformedFrame reject -> retry (connection reused;
+///       kOverloaded only while config.retry_overloaded)
+///   any other typed status                     -> terminal, returned as-is
+///
+/// Retries use exponential backoff (backoff_initial_ms doubling up to
+/// backoff_max_ms) and carry an incremented `attempt` counter on the wire, so
+/// a deterministically injected fault re-rolls on retry instead of repeating
+/// forever. When every attempt is exhausted the result is a typed
+/// ErrorCode::kTimeout — the caller always gets exactly one classified
+/// outcome per request.
+///
+/// request_ids are (client_id << 32) | sequence, so ids from concurrent
+/// clients never collide and the server's fault keys stay process-unique.
+///
+/// Not thread-safe: one NetClient per thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/status.hpp"
+#include "features/features.hpp"
+#include "rcnet/rcnet.hpp"
+#include "serve/protocol.hpp"
+
+namespace gnntrans::serve {
+
+struct NetClientConfig {
+  std::string addr = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  /// Budget for one attempt: send + wait for the matching response.
+  int request_timeout_ms = 5000;
+  /// Additional attempts after the first (0 = never retry).
+  int max_retries = 3;
+  int backoff_initial_ms = 5;
+  int backoff_max_ms = 500;
+  /// Retry typed kOverloaded rejects (with backoff) instead of returning
+  /// them; kShuttingDown and ladder statuses are always terminal.
+  bool retry_overloaded = true;
+  /// Packed into the high 32 bits of every request_id.
+  std::uint32_t client_id = 0;
+};
+
+class NetClient {
+ public:
+  /// One request's classified outcome plus its retry telemetry.
+  struct Result {
+    /// kOk (paths valid), a typed server status (reject or ladder failure),
+    /// or kTimeout when every attempt was exhausted.
+    core::Status status;
+    core::EstimateProvenance provenance = core::EstimateProvenance::kFailed;
+    std::vector<core::PathEstimate> paths;
+    std::uint32_t attempts = 0;            ///< attempts actually made
+    std::uint32_t transport_failures = 0;  ///< connect/send/recv/EOF failures
+    std::uint32_t overload_rejects = 0;    ///< typed kOverloaded answers seen
+
+    [[nodiscard]] bool served() const noexcept {
+      return provenance != core::EstimateProvenance::kFailed;
+    }
+  };
+
+  explicit NetClient(NetClientConfig config);
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Times one net. \p deadline_us is the per-request budget the server
+  /// enforces from admission (0 = none).
+  [[nodiscard]] Result estimate(const rcnet::RcNet& net,
+                                const features::NetContext& context,
+                                std::uint32_t deadline_us = 0);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const NetClientConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] bool ensure_connected();
+  void disconnect();
+  /// Reads frames until the response matching \p request_id arrives or the
+  /// per-attempt deadline passes. Returns false on transport failure/timeout.
+  [[nodiscard]] bool read_response(std::uint64_t request_id,
+                                   ResponseFrame* response);
+
+  NetClientConfig config_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 0;
+  std::string read_buffer_;
+};
+
+}  // namespace gnntrans::serve

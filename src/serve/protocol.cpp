@@ -1,0 +1,339 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace gnntrans::serve {
+
+namespace {
+
+// ---- encoding ------------------------------------------------------------
+// Little-endian byte-at-a-time writers: correct on any host endianness, and
+// doubles travel as their raw IEEE-754 bits so values round-trip bitwise.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    put_u8(out, static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    put_u8(out, static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_header(std::string& out, std::uint8_t type, std::uint64_t request_id,
+                std::uint32_t attempt) {
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, type);
+  put_u16(out, 0);  // reserved
+  put_u64(out, request_id);
+  put_u32(out, attempt);
+}
+
+/// Prepends the length prefix once the payload is fully built.
+std::string finish_frame(std::string payload) {
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+// ---- decoding ------------------------------------------------------------
+
+/// Bounds-checked cursor over one payload. Every get_* fails soft (returns
+/// false / sets fail_) once the payload is exhausted; callers check ok() at
+/// the few points that matter and the final decode_* verifies both ok() and
+/// full consumption.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !fail_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t get_u16() {
+    std::uint16_t v = get_u8();
+    v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(get_u8()) << 8));
+    return v;
+  }
+
+  std::uint32_t get_u32() {
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+      v |= static_cast<std::uint32_t>(get_u8()) << shift;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      v |= static_cast<std::uint64_t>(get_u8()) << shift;
+    return v;
+  }
+
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string get_bytes(std::size_t n) {
+    if (!need(n)) return {};
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+
+  /// True iff \p count items of \p item_bytes each still fit — the check that
+  /// stops a hostile count from sizing an allocation past the actual payload.
+  [[nodiscard]] bool fits(std::uint64_t count, std::size_t item_bytes) {
+    if (item_bytes != 0 && count > remaining() / item_bytes) {
+      fail_ = true;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (fail_ || n > remaining()) {
+      fail_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+core::Status malformed(const std::string& why) {
+  return {core::ErrorCode::kMalformedFrame, why};
+}
+
+/// Parses and validates the shared header; fills id/attempt, checks type.
+core::Status get_header(Reader& r, std::uint8_t want_type,
+                        std::uint64_t* request_id, std::uint32_t* attempt) {
+  const std::uint32_t magic = r.get_u32();
+  const std::uint8_t version = r.get_u8();
+  const std::uint8_t type = r.get_u8();
+  r.get_u16();  // reserved
+  *request_id = r.get_u64();
+  *attempt = r.get_u32();
+  if (!r.ok()) return malformed("truncated header");
+  if (magic != kMagic) return malformed("bad magic");
+  if (version != kVersion)
+    return malformed("unsupported protocol version " + std::to_string(version));
+  if (type != want_type)
+    return malformed("unexpected frame type " + std::to_string(type));
+  return core::Status::ok_status();
+}
+
+}  // namespace
+
+std::string encode_request(const RequestFrame& request) {
+  const rcnet::RcNet& net = request.net;
+  const features::NetContext& ctx = request.context;
+  std::string p;
+  p.reserve(64 + net.name.size() + 8 * net.ground_cap.size() +
+            16 * net.resistors.size() + 20 * net.couplings.size() +
+            4 * net.sinks.size() + 16 * ctx.loads.size());
+  put_header(p, kTypeEstimateRequest, request.request_id, request.attempt);
+  put_u32(p, request.deadline_us);
+
+  // Truncate to what a u16 length can carry (net names never approach 64 KiB;
+  // truncation beats an inconsistent length prefix).
+  const std::string_view name = std::string_view(net.name).substr(0, 0xFFFF);
+  put_u16(p, static_cast<std::uint16_t>(name.size()));
+  p += name;
+  put_u32(p, static_cast<std::uint32_t>(net.ground_cap.size()));
+  put_u32(p, net.source);
+  put_u32(p, static_cast<std::uint32_t>(net.sinks.size()));
+  for (const rcnet::NodeId sink : net.sinks) put_u32(p, sink);
+  for (const double cap : net.ground_cap) put_f64(p, cap);
+  put_u32(p, static_cast<std::uint32_t>(net.resistors.size()));
+  for (const rcnet::Resistor& res : net.resistors) {
+    put_u32(p, res.a);
+    put_u32(p, res.b);
+    put_f64(p, res.ohms);
+  }
+  put_u32(p, static_cast<std::uint32_t>(net.couplings.size()));
+  for (const rcnet::CouplingCap& cc : net.couplings) {
+    put_u32(p, cc.victim_node);
+    put_f64(p, cc.farads);
+    put_u64(p, cc.aggressor_seed);
+  }
+
+  put_f64(p, ctx.input_slew);
+  put_f64(p, ctx.driver_resistance);
+  put_u32(p, ctx.driver_strength);
+  put_u32(p, ctx.driver_function);
+  put_u32(p, static_cast<std::uint32_t>(ctx.loads.size()));
+  for (const features::SinkLoad& load : ctx.loads) {
+    put_u32(p, load.drive_strength);
+    put_u32(p, load.function);
+    put_f64(p, load.input_cap);
+  }
+  return finish_frame(std::move(p));
+}
+
+std::string encode_response(const ResponseFrame& response) {
+  std::string p;
+  p.reserve(32 + response.message.size() + 21 * response.paths.size());
+  put_header(p, kTypeEstimateResponse, response.request_id, response.attempt);
+  put_u8(p, static_cast<std::uint8_t>(response.status));
+  put_u8(p, static_cast<std::uint8_t>(response.provenance));
+  const std::string_view msg =
+      std::string_view(response.message).substr(0, 0xFFFF);
+  put_u16(p, static_cast<std::uint16_t>(msg.size()));
+  p += msg;
+  put_u32(p, static_cast<std::uint32_t>(response.paths.size()));
+  for (const core::PathEstimate& path : response.paths) {
+    put_u32(p, path.sink);
+    put_u8(p, static_cast<std::uint8_t>(path.provenance));
+    put_f64(p, path.delay);
+    put_f64(p, path.slew);
+  }
+  return finish_frame(std::move(p));
+}
+
+core::Status decode_request(std::string_view payload, RequestFrame* out) {
+  *out = RequestFrame{};
+  Reader r(payload);
+  if (core::Status s = get_header(r, kTypeEstimateRequest, &out->request_id,
+                                  &out->attempt);
+      !s.ok())
+    return s;
+  out->deadline_us = r.get_u32();
+
+  rcnet::RcNet& net = out->net;
+  const std::uint16_t name_len = r.get_u16();
+  net.name = r.get_bytes(name_len);
+  const std::uint32_t node_count = r.get_u32();
+  net.source = r.get_u32();
+  const std::uint32_t sink_count = r.get_u32();
+  if (!r.ok()) return malformed("truncated request body");
+  if (!r.fits(sink_count, 4)) return malformed("sink count exceeds payload");
+  net.sinks.resize(sink_count);
+  for (rcnet::NodeId& sink : net.sinks) sink = r.get_u32();
+  if (!r.fits(node_count, 8)) return malformed("node count exceeds payload");
+  net.ground_cap.resize(node_count);
+  for (double& cap : net.ground_cap) cap = r.get_f64();
+  const std::uint32_t resistor_count = r.get_u32();
+  if (!r.fits(resistor_count, 16))
+    return malformed("resistor count exceeds payload");
+  net.resistors.resize(resistor_count);
+  for (rcnet::Resistor& res : net.resistors) {
+    res.a = r.get_u32();
+    res.b = r.get_u32();
+    res.ohms = r.get_f64();
+  }
+  const std::uint32_t coupling_count = r.get_u32();
+  if (!r.fits(coupling_count, 20))
+    return malformed("coupling count exceeds payload");
+  net.couplings.resize(coupling_count);
+  for (rcnet::CouplingCap& cc : net.couplings) {
+    cc.victim_node = r.get_u32();
+    cc.farads = r.get_f64();
+    cc.aggressor_seed = r.get_u64();
+  }
+
+  features::NetContext& ctx = out->context;
+  ctx.input_slew = r.get_f64();
+  ctx.driver_resistance = r.get_f64();
+  ctx.driver_strength = r.get_u32();
+  ctx.driver_function = r.get_u32();
+  const std::uint32_t load_count = r.get_u32();
+  if (!r.fits(load_count, 16)) return malformed("load count exceeds payload");
+  ctx.loads.resize(load_count);
+  for (features::SinkLoad& load : ctx.loads) {
+    load.drive_strength = r.get_u32();
+    load.function = r.get_u32();
+    load.input_cap = r.get_f64();
+  }
+
+  if (!r.ok()) return malformed("truncated request body");
+  if (r.remaining() != 0)
+    return malformed(std::to_string(r.remaining()) +
+                     " trailing bytes after request body");
+  return core::Status::ok_status();
+}
+
+core::Status decode_response(std::string_view payload, ResponseFrame* out) {
+  *out = ResponseFrame{};
+  Reader r(payload);
+  if (core::Status s = get_header(r, kTypeEstimateResponse, &out->request_id,
+                                  &out->attempt);
+      !s.ok())
+    return s;
+  const std::uint8_t status = r.get_u8();
+  const std::uint8_t provenance = r.get_u8();
+  if (status >= core::kErrorCodeCount) return malformed("status out of range");
+  if (provenance > static_cast<std::uint8_t>(core::EstimateProvenance::kFailed))
+    return malformed("provenance out of range");
+  out->status = static_cast<core::ErrorCode>(status);
+  out->provenance = static_cast<core::EstimateProvenance>(provenance);
+  const std::uint16_t message_len = r.get_u16();
+  out->message = r.get_bytes(message_len);
+  const std::uint32_t path_count = r.get_u32();
+  if (!r.ok()) return malformed("truncated response body");
+  if (!r.fits(path_count, 21)) return malformed("path count exceeds payload");
+  out->paths.resize(path_count);
+  for (core::PathEstimate& path : out->paths) {
+    path.sink = r.get_u32();
+    const std::uint8_t pp = r.get_u8();
+    if (pp > static_cast<std::uint8_t>(core::EstimateProvenance::kFailed))
+      return malformed("path provenance out of range");
+    path.provenance = static_cast<core::EstimateProvenance>(pp);
+    path.delay = r.get_f64();
+    path.slew = r.get_f64();
+  }
+  if (!r.ok()) return malformed("truncated response body");
+  if (r.remaining() != 0)
+    return malformed(std::to_string(r.remaining()) +
+                     " trailing bytes after response body");
+  return core::Status::ok_status();
+}
+
+FrameStatus try_extract_frame(std::string& buffer, std::string* payload,
+                              std::size_t max_frame_bytes) {
+  if (buffer.size() < 4) return FrameStatus::kNeedMore;
+  std::uint32_t length = 0;
+  for (int i = 3; i >= 0; --i)
+    length = (length << 8) |
+             static_cast<std::uint8_t>(buffer[static_cast<std::size_t>(i)]);
+  if (length > max_frame_bytes) return FrameStatus::kOversize;
+  if (buffer.size() < 4 + static_cast<std::size_t>(length))
+    return FrameStatus::kNeedMore;
+  *payload = buffer.substr(4, length);
+  buffer.erase(0, 4 + static_cast<std::size_t>(length));
+  return FrameStatus::kFrame;
+}
+
+}  // namespace gnntrans::serve

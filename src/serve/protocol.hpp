@@ -1,0 +1,120 @@
+/// \file protocol.hpp
+/// The wire protocol of the network serving front-end: length-prefixed binary
+/// frames carrying packed RC-graph timing requests and typed responses.
+///
+/// Layout (everything little-endian; doubles are raw IEEE-754 bits, so a
+/// request/response round-trip is bitwise-exact — the determinism invariant of
+/// estimate_batch survives the network hop):
+///
+///   frame    := u32 payload_length | payload          (length excludes itself)
+///   payload  := header | body
+///   header   := u32 magic 'GNTR' | u8 version | u8 type | u16 reserved
+///             | u64 request_id | u32 attempt
+///   request  := u32 deadline_us | rcnet | context     (type = 1)
+///   rcnet    := u16 name_len | name bytes
+///             | u32 node_count | u32 source
+///             | u32 sink_count | u32 sink[]
+///             | f64 ground_cap[node_count]
+///             | u32 resistor_count | { u32 a | u32 b | f64 ohms }[]
+///             | u32 coupling_count | { u32 victim | f64 farads | u64 seed }[]
+///   context  := f64 input_slew | f64 driver_resistance
+///             | u32 driver_strength | u32 driver_function
+///             | u32 load_count | { u32 strength | u32 function | f64 cap }[]
+///   response := u8 status | u8 provenance | u16 message_len | message bytes
+///             | u32 path_count | { u32 sink | u8 provenance
+///                                | f64 delay | f64 slew }[]    (type = 2)
+///
+/// The response status byte is exactly a core::ErrorCode, so the server's
+/// admission decisions (kOverloaded, kShuttingDown, kDeadlineExceeded,
+/// kMalformedFrame) and the estimator's degradation reasons share one
+/// taxonomy end to end.
+///
+/// Decoding is fully bounds-checked: every declared count is validated
+/// against the bytes actually remaining before any allocation sized from it,
+/// and trailing garbage after a well-formed body is itself a malformed frame.
+/// A hostile or corrupted peer gets a typed kMalformedFrame, never UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/status.hpp"
+#include "features/features.hpp"
+#include "rcnet/rcnet.hpp"
+
+namespace gnntrans::serve {
+
+inline constexpr std::uint32_t kMagic = 0x474E5452;  // 'GNTR'
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kTypeEstimateRequest = 1;
+inline constexpr std::uint8_t kTypeEstimateResponse = 2;
+
+/// Default ceiling on one frame's payload. A 1 MiB frame holds an RC net of
+/// ~40k resistors — far beyond any net the extractor emits — while bounding
+/// what a hostile length prefix can make the server allocate.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// One timing request as it travels the wire.
+struct RequestFrame {
+  /// Client-chosen correlation id, echoed verbatim in the response. The
+  /// bundled client packs its client_id into the high bits so ids stay
+  /// process-unique across concurrent connections.
+  std::uint64_t request_id = 0;
+  /// Delivery attempt (0 = first). Echoed in the response; also the retry
+  /// discriminator for deterministic fault injection — site keys include the
+  /// attempt, so a retried request re-rolls its fault dice instead of
+  /// deterministically failing forever.
+  std::uint32_t attempt = 0;
+  /// Per-request latency budget in microseconds from server admission;
+  /// 0 = none. Propagated into BatchOptions::deadline_seconds.
+  std::uint32_t deadline_us = 0;
+  rcnet::RcNet net;
+  features::NetContext context;
+};
+
+/// One timing response as it travels the wire.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  std::uint32_t attempt = 0;
+  /// kOk when paths carry an estimate; otherwise the typed reject/degrade
+  /// reason (kOverloaded, kShuttingDown, kMalformedFrame, kDeadlineExceeded,
+  /// or a ladder code from the estimator's NetOutcome).
+  core::ErrorCode status = core::ErrorCode::kOk;
+  /// Which ladder rung produced the paths (net-level; per-path provenance
+  /// rides each PathEstimate).
+  core::EstimateProvenance provenance = core::EstimateProvenance::kModel;
+  std::string message;
+  std::vector<core::PathEstimate> paths;
+};
+
+/// Encodes a full frame (length prefix included), ready for send_all.
+[[nodiscard]] std::string encode_request(const RequestFrame& request);
+[[nodiscard]] std::string encode_response(const ResponseFrame& response);
+
+/// Decodes one payload (the bytes *after* the length prefix). On failure the
+/// Status is kMalformedFrame with a human-readable reason and \p out is
+/// unspecified.
+[[nodiscard]] core::Status decode_request(std::string_view payload,
+                                          RequestFrame* out);
+[[nodiscard]] core::Status decode_response(std::string_view payload,
+                                           ResponseFrame* out);
+
+/// Outcome of trying to peel one frame off a reassembly buffer.
+enum class FrameStatus : std::uint8_t {
+  kNeedMore = 0,  ///< buffer holds a partial length prefix or partial payload
+  kFrame = 1,     ///< one complete payload extracted and consumed
+  kOversize = 2,  ///< declared length exceeds max_frame_bytes: protocol abuse
+};
+
+/// Peels the first complete frame off \p buffer (erasing its bytes) into
+/// \p payload. kOversize leaves the buffer untouched — the connection is
+/// beyond recovery (the stream cannot be resynchronized) and must be closed.
+[[nodiscard]] FrameStatus try_extract_frame(
+    std::string& buffer, std::string* payload,
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace gnntrans::serve

@@ -8,11 +8,20 @@ MetricsRegistry must
      host never collide, and
   2. survive ``sanitize_metric_name`` unchanged ([a-zA-Z0-9_:], non-digit
      first character) — a name that the exporter has to rewrite is a name
-     that dashboards can never find under its source spelling.
+     that dashboards can never find under its source spelling,
+
+  3. live in a known second-level namespace (``gnntrans_net_*``,
+     ``gnntrans_serving_*``, …) so one-off spellings (``gnntrans_network_``,
+     ``gnntrans_serve_``) cannot fragment a metric family across dashboards,
+     and
+
+  4. follow the Prometheus suffix convention: counters end in ``_total``,
+     gauges and histograms do not.
 
 Names built at runtime from a dynamic suffix (e.g. the per-feature
 ``"gnntrans_quality_feature_psi_" + name`` gauges) are checked on their
-literal prefix, which the concatenation syntax exposes.
+literal prefix, which the concatenation syntax exposes; the suffix rule is
+skipped for those since the tail is dynamic.
 
 Run standalone (``python3 tools/check_metric_names.py``) or via ctest
 (registered as ``metric_name_lint`` with the ``quality`` label). Exits
@@ -31,6 +40,13 @@ REGISTRATION = re.compile(
 )
 
 SANITARY = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+# Known second-level namespaces (gnntrans_<ns>_...). Introducing a new one is
+# fine — add it here deliberately, so near-miss spellings don't slip through.
+NAMESPACES = (
+    "eco", "golden", "liberty", "net", "obs", "quality", "serving", "spef",
+    "sta", "trace", "train", "verilog",
+)
 
 # Registrations that are deliberately hostile or synthetic (tests exercising
 # the sanitizer itself, bench fixtures) live under these directories.
@@ -66,7 +82,24 @@ def scan(root: pathlib.Path):
                     f"{where}: {kind} name {name!r} would be rewritten by "
                     "sanitize_metric_name ([a-zA-Z0-9_:] only, non-digit first)"
                 )
+            if name.startswith("gnntrans_") and not any(
+                name.startswith(f"gnntrans_{ns}_") for ns in NAMESPACES
+            ):
+                violations.append(
+                    f"{where}: {kind} name {name!r} is outside every known "
+                    "namespace (" + ", ".join(NAMESPACES) + "); add the "
+                    "namespace to check_metric_names.py if it is intentional"
+                )
             if not concatenated:
+                if kind == "counter" and not name.endswith("_total"):
+                    violations.append(
+                        f"{where}: counter {name!r} must end in _total"
+                    )
+                if kind != "counter" and name.endswith("_total"):
+                    violations.append(
+                        f"{where}: {kind} {name!r} must not end in _total "
+                        "(reserved for counters)"
+                    )
                 names.add(name)
     return violations, names
 

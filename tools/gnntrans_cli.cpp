@@ -23,6 +23,20 @@
 //       --threads T parallelizes wire inference within each topological
 //       level (identical arrivals for any T). --paths K appends a sign-off
 //       style report of the K worst paths.
+//   serve     --model IN [--port P] [--addr A] [--threads T] [--batch B]
+//             [--flush-ms F] [--queue Q] [--max-conns C] [--duration-s D]
+//             [--max-requests N]
+//       Network serving front-end: listen on A:P (default 127.0.0.1, port 0 =
+//       ephemeral, logged) for length-prefixed binary timing requests
+//       (serve/protocol.hpp), coalesce them across clients into batches of up
+//       to B flushed every F ms, and answer through estimate_batch on T
+//       workers. Admission is bounded by Q queued requests (overflow gets a
+//       typed kOverloaded reject) and C concurrent connections. Runs until
+//       SIGINT/SIGTERM (graceful drain: flush in-flight, answer, close), or
+//       for D seconds, or until N requests were admitted. The serving
+//       robustness flags below apply per batch; --deadline-ms is ignored
+//       (deadlines arrive per-request on the wire). --autoscale on resizes
+//       the pool from offered load *plus* queue backlog.
 //   eco       [--seed S] [--edits N] [--startpoints P --levels L --width W]
 //             [--steps T] [--model IN] [--verify on|off] [--paths K]
 //       ECO what-if driver: generate a design, apply N seeded random edits
@@ -87,6 +101,8 @@
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -96,6 +112,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "cell/liberty.hpp"
 #include "core/autoscaler.hpp"
@@ -111,6 +128,7 @@
 #include "netlist/verilog.hpp"
 #include "rcnet/generate.hpp"
 #include "rcnet/spef.hpp"
+#include "serve/server.hpp"
 
 using namespace gnntrans;
 
@@ -533,6 +551,89 @@ int cmd_sta(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+void handle_serve_signal(int) { g_serve_stop = 1; }
+
+int cmd_serve(const Args& args) {
+  const auto estimator = load_model_file(args.require("model"));
+
+  serve::NetServerConfig cfg;
+  cfg.addr = args.get("addr").value_or(cfg.addr);
+  cfg.port = static_cast<std::uint16_t>(args.get_long("port", 0));
+  cfg.threads =
+      static_cast<std::size_t>(std::max(1L, args.get_long("threads", 1)));
+  cfg.batch_max =
+      static_cast<std::size_t>(std::max(1L, args.get_long("batch", 64)));
+  cfg.flush_age_seconds = std::max(0.0, args.get_double("flush-ms", 2.0)) * 1e-3;
+  cfg.queue_capacity =
+      static_cast<std::size_t>(std::max(1L, args.get_long("queue", 1024)));
+  cfg.max_connections =
+      static_cast<std::size_t>(std::max(1L, args.get_long("max-conns", 64)));
+  apply_serving_flags(args, cfg.batch);
+  // The batch deadline is owned by the server: each request carries its own
+  // budget on the wire and the batcher propagates the tightest one.
+  cfg.batch.deadline_seconds = 0.0;
+  if (const auto acfg = autoscale_config_from(args)) {
+    cfg.enable_autoscale = true;
+    cfg.autoscale = *acfg;
+    cfg.threads = std::clamp(cfg.threads, acfg->min_threads,
+                             acfg->max_threads == 0
+                                 ? core::ThreadPool::hardware_threads()
+                                 : acfg->max_threads);
+  }
+
+  serve::NetServer server(estimator, cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    GNNTRANS_LOG_ERROR("serve", "%s", e.what());
+    return 2;
+  }
+  std::printf("serving wire timing on %s:%u (Ctrl-C drains and exits)\n",
+              cfg.addr.c_str(), server.port());
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+
+  const double duration_s = args.get_double("duration-s", 0.0);
+  const long max_requests = args.get_long("max-requests", 0);
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_serve_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count();
+    if (duration_s > 0.0 && elapsed >= duration_s) break;
+    if (max_requests > 0 &&
+        server.ledger().requests_decoded.load() >=
+            static_cast<std::uint64_t>(max_requests))
+      break;
+  }
+  server.stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const serve::NetServerLedger& ledger = server.ledger();
+  const core::InferenceStats stats = server.stats();
+  std::printf(
+      "drained: %llu connections, %llu requests, %llu served, %llu rejected "
+      "(%llu overload, %llu malformed, %llu deadline, %llu shutdown), %llu "
+      "batches\n",
+      static_cast<unsigned long long>(ledger.connections_accepted.load()),
+      static_cast<unsigned long long>(ledger.requests_decoded.load()),
+      static_cast<unsigned long long>(ledger.served.load()),
+      static_cast<unsigned long long>(ledger.rejected_total()),
+      static_cast<unsigned long long>(ledger.rejected_overload.load()),
+      static_cast<unsigned long long>(ledger.rejected_malformed.load()),
+      static_cast<unsigned long long>(ledger.rejected_deadline.load()),
+      static_cast<unsigned long long>(ledger.rejected_shutdown.load()),
+      static_cast<unsigned long long>(ledger.batches.load()));
+  GNNTRANS_LOG_INFO("serving", "%s", stats.summary().c_str());
+  return 0;
+}
+
 /// True when every per-instance timing quantity of \p a and \p b is bitwise
 /// identical — the ECO equivalence contract (doubles compared by bit pattern,
 /// so NaNs or signed zeros would not slip through a numeric ==).
@@ -698,7 +799,8 @@ int cmd_eco(const Args& args) {
 void usage() {
   GNNTRANS_LOG_ERROR(
       "cli",
-      "usage: gnntrans_cli <generate|design|libgen|train|eval|predict|sta|eco> "
+      "usage: gnntrans_cli "
+      "<generate|design|libgen|train|eval|predict|sta|serve|eco> "
       "[--flag value ...]; telemetry flags (any command): --log-level "
       "<trace|debug|info|warn|error|off> --log-json FILE --metrics-out FILE "
       "--trace-out FILE --obs-port P --flight-out FILE --stats-interval S "
@@ -838,6 +940,7 @@ int main(int argc, char** argv) {
     else if (cmd == "eval") rc = cmd_eval(args);
     else if (cmd == "predict") rc = cmd_predict(args);
     else if (cmd == "sta") rc = cmd_sta(args);
+    else if (cmd == "serve") rc = cmd_serve(args);
     else if (cmd == "eco") rc = cmd_eco(args);
   } catch (const std::exception& e) {
     GNNTRANS_LOG_ERROR("cli", "%s", e.what());
