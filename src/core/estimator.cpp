@@ -400,6 +400,19 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     FaultInjector& inject = FaultInjector::global();
     StageSeconds stages;
 
+    // Head-sampled requests get their model work recorded as a span tagged
+    // with the trace_id (bypassing the 1-in-N span sampler) plus a flow step
+    // linking the batch span into the request's cross-thread lane.
+    const telemetry::TraceContext trace =
+        options.traces && i < options.traces->size()
+            ? (*options.traces)[i]
+            : telemetry::TraceContext{};
+    const telemetry::TraceSpan net_span("net_model", "request", trace);
+    if (net_span.active())
+      telemetry::TraceRecorder::global().record_flow(
+          telemetry::TracePhase::kFlowStep, "batch_model", "request",
+          trace.trace_id);
+
     // Structural validity decides fallback eligibility below: the analytic
     // baseline needs a well-formed net just like the model does, so an
     // *injected* validation fault on a valid net still degrades gracefully.
@@ -456,6 +469,10 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     }
 
     latency[i] = seconds_since(t0);
+    outcome.net_seconds = latency[i];
+    outcome.featurize_seconds = stages.featurize;
+    outcome.forward_seconds = stages.forward;
+    outcome.fallback_seconds = stages.fallback;
 
     // Shadow scoring: deterministic pure-hash sample of model-served nets,
     // re-timed against the analytic baseline. Runs after latency[i] is taken

@@ -42,6 +42,7 @@
 #include "core/status.hpp"
 #include "core/telemetry/metrics.hpp"
 #include "core/telemetry/quality.hpp"
+#include "core/telemetry/trace.hpp"
 #include "core/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "features/dataset.hpp"
@@ -81,6 +82,14 @@ struct NetOutcome {
   ErrorCode error = ErrorCode::kOk;
   std::string message;
   bool slow = false;  ///< exceeded BatchOptions::slow_net_warn_seconds
+  /// This net's wall time inside the batch and its stage shares, in seconds.
+  /// Always filled; callers building per-request stage clocks (the network
+  /// server's tail-latency attribution) read the model share from here so
+  /// the estimator's internal stage breakdown stays private.
+  double net_seconds = 0.0;
+  double featurize_seconds = 0.0;
+  double forward_seconds = 0.0;
+  double fallback_seconds = 0.0;
 };
 
 /// Observability counters for batched inference. Per-net wall latencies are
@@ -166,6 +175,11 @@ struct BatchOptions {
   double slow_net_warn_seconds = 0.0;
   /// When set, resized to the batch and filled with one outcome per net.
   std::vector<NetOutcome>* outcomes = nullptr;
+  /// Optional per-item trace contexts (parallel to the batch; size must
+  /// match when set). Sampled items get their model work recorded as
+  /// request-tagged spans plus a flow step, linking the batch span into each
+  /// request's trace lane. Telemetry only — never affects estimates.
+  const std::vector<telemetry::TraceContext>* traces = nullptr;
 };
 
 /// Thrown by WireTimingEstimator::load on a checkpoint whose format version

@@ -250,7 +250,8 @@ void FlightRecorder::record(const FlightRecord& record) noexcept {
   }
 }
 
-void FlightRecorder::write_json(std::ostream& out) const {
+void FlightRecorder::write_json(std::ostream& out,
+                                const JsonFilter& filter) const {
   Impl& im = impl();
   std::vector<FlightRecord> recent, pinned;
   const std::size_t count =
@@ -269,6 +270,19 @@ void FlightRecorder::write_json(std::ostream& out) const {
   };
   std::sort(recent.begin(), recent.end(), by_seq);
   std::sort(pinned.begin(), pinned.end(), by_seq);
+  const auto apply_filter = [&filter](std::vector<FlightRecord>& records) {
+    if (!filter.net.empty())
+      records.erase(std::remove_if(records.begin(), records.end(),
+                                   [&filter](const FlightRecord& r) {
+                                     return filter.net != r.net;
+                                   }),
+                    records.end());
+    if (filter.limit > 0 && records.size() > filter.limit)
+      records.erase(records.begin(),
+                    records.end() - static_cast<std::ptrdiff_t>(filter.limit));
+  };
+  apply_filter(recent);
+  apply_filter(pinned);
 
   // Both dump paths share format_record, so /flight and the crash dump have
   // one shape; its sanitizer keeps hostile name bytes out of the JSON.

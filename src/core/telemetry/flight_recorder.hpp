@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <cstring>
 #include <iosfwd>
+#include <string>
 #include <string_view>
 #include <type_traits>
 
@@ -117,10 +118,18 @@ class FlightRecorder {
   /// caller set record.pinned itself (quality drift/outlier events).
   void record(const FlightRecord& record) noexcept;
 
+  /// /flight query filters: keep only records whose net field equals \p net
+  /// (empty = all), then the newest \p limit of each list (0 = all).
+  struct JsonFilter {
+    std::size_t limit = 0;
+    std::string net;
+  };
+
   /// {"recorded":N,"dropped":N,"records":[...],"pinned":[...]} — records
   /// sorted oldest-first by seq; bytes that could break the JSON string
   /// (quotes, backslashes, control chars) are replaced with '_'.
-  void write_json(std::ostream& out) const;
+  void write_json(std::ostream& out) const { write_json(out, JsonFilter{}); }
+  void write_json(std::ostream& out, const JsonFilter& filter) const;
 
   /// Async-signal-safe dump to a file descriptor: no allocation, no locks,
   /// no stdio; hand-rolled formatting; non-printable name bytes become '_'.

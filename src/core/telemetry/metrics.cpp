@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -199,6 +200,13 @@ struct HistogramState {
   std::string name, help;
   std::vector<double> bounds;
   std::array<Shard, kMetricShards> shards;
+
+  // Exemplar slot (annotate_exemplar): rare writes from sampled requests
+  // only, so a plain mutex is fine. value < 0 means "none yet".
+  std::mutex exemplar_mutex;
+  double exemplar_value = -1.0;
+  std::uint64_t exemplar_trace_id = 0;
+  char exemplar_label[48] = {0};
 };
 
 }  // namespace detail
@@ -243,6 +251,19 @@ void Histogram::observe(double value) const noexcept {
       .fetch_add(1, std::memory_order_relaxed);
   shard.count.fetch_add(1, std::memory_order_relaxed);
   atomic_add(shard.sum, value);
+}
+
+void Histogram::annotate_exemplar(double value, std::uint64_t trace_id,
+                                  std::string_view label) const noexcept {
+  if (!state_ || !(value >= 0.0)) return;
+  const std::lock_guard<std::mutex> lock(state_->exemplar_mutex);
+  if (value < state_->exemplar_value) return;
+  state_->exemplar_value = value;
+  state_->exemplar_trace_id = trace_id;
+  const std::size_t n =
+      std::min(sizeof(state_->exemplar_label) - 1, label.size());
+  std::memcpy(state_->exemplar_label, label.data(), n);
+  state_->exemplar_label[n] = '\0';
 }
 
 HistogramData Histogram::snapshot() const {
@@ -357,9 +378,20 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (detail::GaugeState& state : im.gauges)
     snap.gauges.push_back({state.name, state.help, Gauge(&state).value()});
   snap.histograms.reserve(im.histograms.size());
-  for (detail::HistogramState& state : im.histograms)
-    snap.histograms.push_back(
-        {state.name, state.help, Histogram(&state).snapshot()});
+  for (detail::HistogramState& state : im.histograms) {
+    MetricsSnapshot::HistogramValue value{state.name, state.help,
+                                          Histogram(&state).snapshot()};
+    {
+      const std::lock_guard<std::mutex> exemplar_lock(state.exemplar_mutex);
+      if (state.exemplar_value >= 0.0) {
+        value.has_exemplar = true;
+        value.exemplar_value = state.exemplar_value;
+        value.exemplar_trace_id = state.exemplar_trace_id;
+        value.exemplar_label = state.exemplar_label;
+      }
+    }
+    snap.histograms.push_back(std::move(value));
+  }
   return snap;
 }
 
@@ -371,13 +403,18 @@ void MetricsRegistry::reset() {
       cell.value.store(0, std::memory_order_relaxed);
   for (detail::GaugeState& state : im.gauges)
     state.value.store(0.0, std::memory_order_relaxed);
-  for (detail::HistogramState& state : im.histograms)
+  for (detail::HistogramState& state : im.histograms) {
     for (detail::HistogramState::Shard& shard : state.shards) {
       for (std::atomic<std::uint64_t>& c : shard.counts)
         c.store(0, std::memory_order_relaxed);
       shard.count.store(0, std::memory_order_relaxed);
       shard.sum.store(0.0, std::memory_order_relaxed);
     }
+    const std::lock_guard<std::mutex> exemplar_lock(state.exemplar_mutex);
+    state.exemplar_value = -1.0;
+    state.exemplar_trace_id = 0;
+    state.exemplar_label[0] = '\0';
+  }
 }
 
 std::size_t MetricsRegistry::metric_count() const {
@@ -409,16 +446,35 @@ std::string MetricsSnapshot::to_prometheus() const {
   for (const HistogramValue& h : histograms) {
     header(h.name, h.help, "histogram");
     const std::string name = sanitize_metric_name(h.name);
+    // OpenMetrics-style exemplar suffix, appended to the first bucket line
+    // whose upper bound covers the exemplar value (tail witness for /tracez).
+    std::string exemplar;
+    if (h.has_exemplar) {
+      char id[32];
+      std::snprintf(id, sizeof(id), "0x%016llx",
+                    static_cast<unsigned long long>(h.exemplar_trace_id));
+      exemplar = std::string(" # {trace_id=\"") + id + "\",net=\"" +
+                 escape_label_value(h.exemplar_label) + "\"} " +
+                 format_double(h.exemplar_value);
+    }
+    bool exemplar_emitted = false;
     std::uint64_t cumulative = 0;
     const std::vector<std::uint64_t>& counts = h.data.bucket_counts();
     for (std::size_t b = 0; b < h.data.bounds().size(); ++b) {
       cumulative += counts[b];
       out += name + "_bucket{le=\"" +
              escape_label_value(format_double(h.data.bounds()[b])) + "\"} " +
-             std::to_string(cumulative) + "\n";
+             std::to_string(cumulative);
+      if (h.has_exemplar && !exemplar_emitted &&
+          h.exemplar_value <= h.data.bounds()[b]) {
+        out += exemplar;
+        exemplar_emitted = true;
+      }
+      out += "\n";
     }
-    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.data.count()) +
-           "\n";
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.data.count());
+    if (h.has_exemplar && !exemplar_emitted) out += exemplar;
+    out += "\n";
     out += name + "_sum " + format_double(h.data.sum()) + "\n";
     out += name + "_count " + std::to_string(h.data.count()) + "\n";
   }
@@ -454,7 +510,16 @@ std::string MetricsSnapshot::to_json() const {
       out += std::to_string(h.data.bucket_counts()[b]);
     }
     out += "],\"sum\":" + format_double(h.data.sum()) +
-           ",\"count\":" + std::to_string(h.data.count()) + "}";
+           ",\"count\":" + std::to_string(h.data.count());
+    if (h.has_exemplar) {
+      char id[32];
+      std::snprintf(id, sizeof(id), "0x%016llx",
+                    static_cast<unsigned long long>(h.exemplar_trace_id));
+      out += std::string(",\"exemplar\":{\"trace_id\":\"") + id +
+             "\",\"label\":\"" + json_escape(h.exemplar_label) +
+             "\",\"value\":" + format_double(h.exemplar_value) + "}";
+    }
+    out += "}";
   }
   out += "}}";
   return out;

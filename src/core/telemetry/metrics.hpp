@@ -156,6 +156,14 @@ class Histogram {
  public:
   Histogram() = default;
   void observe(double value) const noexcept;
+  /// Attaches an OpenMetrics-style exemplar (trace_id + one label value,
+  /// e.g. the net name) without adding to the distribution — callers pair it
+  /// with a regular observe() of the same request. Keeps the largest value
+  /// since the last reset, so the exported exemplar names a request from the
+  /// histogram's tail (the p99 bucket) that /tracez can resolve. Called only
+  /// for head-sampled requests; takes a small mutex.
+  void annotate_exemplar(double value, std::uint64_t trace_id,
+                         std::string_view label) const noexcept;
   /// Merged snapshot of all shards.
   [[nodiscard]] HistogramData snapshot() const;
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
@@ -179,6 +187,12 @@ struct MetricsSnapshot {
   struct HistogramValue {
     std::string name, help;
     HistogramData data;
+    /// Largest annotated exemplar since the last reset (tail/p99 witness);
+    /// has_exemplar false when the histogram was never annotated.
+    bool has_exemplar = false;
+    double exemplar_value = 0.0;
+    std::uint64_t exemplar_trace_id = 0;
+    std::string exemplar_label;
   };
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 #include "core/telemetry/metrics.hpp"
 #include "core/telemetry/net_io.hpp"
 #include "core/telemetry/quality.hpp"
+#include "core/telemetry/tracez.hpp"
 
 namespace gnntrans::telemetry {
 
@@ -81,6 +83,22 @@ struct ObsMetrics {
     return metrics;
   }
 };
+
+/// Value of \p key in a "k=v&k=v" query string; empty when absent. No
+/// percent-decoding — the accepted values (counts, net names) are plain.
+std::string query_param(const std::string& query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp && eq - pos == key.size() &&
+        query.compare(pos, key.size(), key) == 0)
+      return query.substr(eq + 1, amp - eq - 1);
+    pos = amp + 1;
+  }
+  return {};
+}
 
 const std::chrono::steady_clock::time_point g_process_epoch =
     std::chrono::steady_clock::now();
@@ -146,7 +164,7 @@ void ObsServer::stop() {
 
 void ObsServer::serve_loop() {
   GNNTRANS_LOG_INFO("obs", "serving /metrics /metrics.json /healthz /readyz "
-                           "/buildinfo /flight /quality on %s:%u",
+                           "/buildinfo /flight /quality /tracez on %s:%u",
                     config_.addr.c_str(), bound_port_);
   while (running_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
@@ -220,8 +238,11 @@ void ObsServer::handle_connection(int fd) {
     return respond(400, "text/plain", "malformed request line\n");
   const std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (const std::size_t query = path.find('?'); query != std::string::npos)
-    path.resize(query);  // queries are accepted and ignored
+  std::string query_string;
+  if (const std::size_t query = path.find('?'); query != std::string::npos) {
+    query_string = path.substr(query + 1);
+    path.resize(query);
+  }
   if (method != "GET")
     return respond(405, "text/plain", "only GET is supported\n");
 
@@ -261,13 +282,26 @@ void ObsServer::handle_connection(int fd) {
     return respond(200, "application/json", buildinfo_json());
   }
   if (path == "/flight") {
+    FlightRecorder::JsonFilter filter;
+    if (const std::string n = query_param(query_string, "n"); !n.empty())
+      filter.limit =
+          static_cast<std::size_t>(std::strtoull(n.c_str(), nullptr, 10));
+    filter.net = query_param(query_string, "net");
     std::ostringstream out;
-    FlightRecorder::global().write_json(out);
+    FlightRecorder::global().write_json(out, filter);
     return respond(200, "application/json", out.str());
   }
   if (path == "/quality") {
     return respond(200, "application/json",
                    QualityMonitor::global().state_json());
+  }
+  if (path == "/tracez") {
+    std::size_t limit = 0;
+    if (const std::string n = query_param(query_string, "n"); !n.empty())
+      limit = static_cast<std::size_t>(std::strtoull(n.c_str(), nullptr, 10));
+    std::ostringstream out;
+    RequestTraceStore::global().write_json(out, limit);
+    return respond(200, "application/json", out.str());
   }
   respond(404, "text/plain", "unknown path\n");
 }

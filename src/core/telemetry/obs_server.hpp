@@ -12,9 +12,15 @@
 ///                  AND the quality monitor reports no drift/residual alert;
 ///                  503 with the reason otherwise
 ///   /buildinfo     build/version/pid/uptime JSON
-///   /flight        recent per-net flight records (FlightRecorder JSON)
+///   /flight        recent per-net flight records (FlightRecorder JSON);
+///                  ?n=<limit> keeps the newest N per list, ?net=<name>
+///                  filters to one net
 ///   /quality       model-quality state (QualityMonitor JSON: shadow residual
 ///                  quantiles, per-feature PSI, degradation verdict)
+///   /tracez        slowest retained request traces with their full stage
+///                  breakdown (RequestTraceStore JSON); ?n=<limit> caps the
+///                  list — resolves the trace_ids exported as /metrics
+///                  histogram exemplars
 ///
 /// One background thread accepts and answers sequentially — a scrape every
 /// few seconds, not a web service. Requests are bounded in size and time;

@@ -1,8 +1,9 @@
 /// \file telemetry.hpp
 /// Umbrella header for the observability subsystem: structured logging
 /// (log.hpp), the sharded metrics registry (metrics.hpp), trace-span
-/// profiling with adaptive sampling (trace.hpp), the per-net flight
-/// recorder (flight_recorder.hpp), the HTTP scrape server (obs_server.hpp),
+/// profiling with adaptive sampling and request head sampling (trace.hpp),
+/// retained slowest-N request traces for /tracez (tracez.hpp), the per-net
+/// flight recorder (flight_recorder.hpp), the HTTP scrape server (obs_server.hpp),
 /// the periodic stats reporter (stats_reporter.hpp), and the model-quality
 /// monitor (quality.hpp: shadow scoring, feature drift, accuracy-aware
 /// readiness). Zero external
@@ -17,3 +18,4 @@
 #include "core/telemetry/quality.hpp"
 #include "core/telemetry/stats_reporter.hpp"
 #include "core/telemetry/trace.hpp"
+#include "core/telemetry/tracez.hpp"

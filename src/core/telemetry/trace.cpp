@@ -25,6 +25,16 @@ void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
   dst[n] = '\0';
 }
 
+/// splitmix64 finalizer — the same pure-hash family FaultInjector and the
+/// quality shadow sampler use, so head sampling is a deterministic function
+/// of (seed, request_id) with no per-request state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// Hard ceiling for the adaptive 1-in-N: beyond this, sampling is
 /// effectively off and pushing N higher only loses resolution.
 constexpr std::size_t kMaxSampleEvery = std::size_t{1} << 20;
@@ -111,23 +121,75 @@ TraceRecorder::Ring& TraceRecorder::ring_for_this_thread() {
 
 void TraceRecorder::record(std::string_view name, std::string_view category,
                            std::int64_t begin_ns, std::int64_t end_ns) noexcept {
+  record_event(name, category, begin_ns, end_ns, TracePhase::kComplete, 0);
+}
+
+void TraceRecorder::record_flow(TracePhase phase, std::string_view name,
+                                std::string_view category,
+                                std::uint64_t flow_id) noexcept {
+  if (!enabled()) return;
+  const std::int64_t now = now_ns();
+  record_event(name, category, now, now, phase, flow_id);
+}
+
+TraceContext TraceRecorder::head_sample(std::uint64_t request_id) noexcept {
+  if (!enabled()) return {};
+  const std::uint64_t seed = head_seed_.load(std::memory_order_relaxed);
+  const std::uint64_t mixed = mix64(request_id ^ seed);
+  TraceContext ctx;
+  ctx.trace_id = mixed ? mixed : 1;
+  // The overhead controller throttles head sampling by the same factor it
+  // raised the span interval: if adapt() doubled effective_every, half the
+  // previously-sampled requests stop tracing.
+  const double base = static_cast<double>(base_every_.load(std::memory_order_relaxed));
+  const double effective =
+      static_cast<double>(effective_every_.load(std::memory_order_relaxed));
+  double rate = head_rate_.load(std::memory_order_relaxed) * (base / effective);
+  rate = std::clamp(rate, 0.0, 1.0);
+  if (rate >= 1.0) {
+    ctx.sampled = true;
+  } else if (rate > 0.0) {
+    // Map rate into the u64 range (FaultInjector-style threshold compare),
+    // decided by a second independent hash so the sampling bit is not
+    // correlated with the trace_id bits.
+    const auto threshold =
+        static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+    ctx.sampled = mix64(mixed ^ 0x517CC1B727220A95ull) < threshold;
+  }
+  if (ctx.sampled) ctx.span_id = next_span_id();
+  return ctx;
+}
+
+void TraceRecorder::record_event(std::string_view name,
+                                 std::string_view category,
+                                 std::int64_t begin_ns, std::int64_t end_ns,
+                                 TracePhase phase,
+                                 std::uint64_t flow_id) noexcept {
   if (!enabled()) return;
   // Self-time every 64th record so adapt() knows the real per-span cost on
-  // this machine under this contention; EWMA smooths scheduler noise.
+  // this machine under this contention; EWMA smooths scheduler noise. The
+  // pre-increment makes call #64 the first probe, and the ring is acquired
+  // before the clock starts: a thread's first record pays a one-off ring
+  // allocation (~2 MB first touch) that must not seed the EWMA — a poisoned
+  // first sample would make adapt() throttle head sampling to nothing.
   thread_local std::uint32_t t_probe = 0;
-  const bool timed = (t_probe++ & 63u) == 0;
+  const bool timed = (++t_probe & 63u) == 0;
+  Ring& ring = ring_for_this_thread();
   std::chrono::steady_clock::time_point t0;
   if (timed) t0 = std::chrono::steady_clock::now();
 
   {
-    Ring& ring = ring_for_this_thread();
     const std::lock_guard<std::mutex> lock(ring.mutex);
     TraceEvent& event = ring.events[ring.next];
     copy_truncated(event.name, sizeof(event.name), name);
     copy_truncated(event.category, sizeof(event.category), category);
     event.begin_ns = begin_ns;
-    event.end_ns = end_ns;
+    event.end_ns = phase == TracePhase::kComplete || phase == TracePhase::kAsync
+                       ? end_ns
+                       : begin_ns;
+    event.flow_id = flow_id;
     event.thread_id = ring.thread_id;
+    event.phase = phase;
     ring.next = (ring.next + 1) % ring.events.size();
     ++ring.written;
   }
@@ -150,11 +212,16 @@ void TraceRecorder::configure(TraceConfig config) noexcept {
   base_every_.store(every, std::memory_order_relaxed);
   effective_every_.store(every, std::memory_order_relaxed);
   budget_pct_.store(config.overhead_budget_pct, std::memory_order_relaxed);
+  head_rate_.store(std::clamp(config.head_sample_rate, 0.0, 1.0),
+                   std::memory_order_relaxed);
+  head_seed_.store(config.head_seed, std::memory_order_relaxed);
 }
 
 TraceConfig TraceRecorder::config() const noexcept {
   return {base_every_.load(std::memory_order_relaxed),
-          budget_pct_.load(std::memory_order_relaxed)};
+          budget_pct_.load(std::memory_order_relaxed),
+          head_rate_.load(std::memory_order_relaxed),
+          head_seed_.load(std::memory_order_relaxed)};
 }
 
 bool TraceRecorder::should_sample() noexcept {
@@ -234,16 +301,52 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
     for (std::size_t k = 0; k < count; ++k) {
       const TraceEvent& event =
           ring->events[(start + k) % ring->events.size()];
-      if (!first) out << ",";
-      first = false;
       char times[96];  // fixed %.3f keeps full µs resolution at any offset
-      std::snprintf(times, sizeof(times), "\"ts\":%.3f,\"dur\":%.3f",
-                    static_cast<double>(event.begin_ns) / 1000.0,
-                    static_cast<double>(event.end_ns - event.begin_ns) / 1000.0);
-      out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
-          << (event.category[0] ? json_escape(event.category) : "default")
-          << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.thread_id << ","
-          << times << "}";
+      char id[40];
+      id[0] = '\0';
+      if (event.flow_id != 0)
+        std::snprintf(id, sizeof(id), ",\"id\":\"0x%llx\"",
+                      static_cast<unsigned long long>(event.flow_id));
+      const char* header_tail =
+          event.category[0] ? event.category : "default";
+      // One stored event can expand to two JSON entries (async b/e pair).
+      const auto emit = [&](char ph, std::int64_t ts_ns, bool with_dur,
+                            const char* extra) {
+        if (!first) out << ",";
+        first = false;
+        if (with_dur)
+          std::snprintf(times, sizeof(times), "\"ts\":%.3f,\"dur\":%.3f",
+                        static_cast<double>(ts_ns) / 1000.0,
+                        static_cast<double>(event.end_ns - event.begin_ns) /
+                            1000.0);
+        else
+          std::snprintf(times, sizeof(times), "\"ts\":%.3f",
+                        static_cast<double>(ts_ns) / 1000.0);
+        out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+            << json_escape(header_tail) << "\",\"ph\":\"" << ph
+            << "\",\"pid\":1,\"tid\":" << event.thread_id << "," << times
+            << id << extra << "}";
+      };
+      switch (event.phase) {
+        case TracePhase::kComplete:
+          emit('X', event.begin_ns, true, "");
+          break;
+        case TracePhase::kFlowStart:
+          emit('s', event.begin_ns, false, "");
+          break;
+        case TracePhase::kFlowStep:
+          emit('t', event.begin_ns, false, "");
+          break;
+        case TracePhase::kFlowEnd:
+          // bp:e binds the arrow to the enclosing slice's end, which is how
+          // chrome://tracing expects terminating flow events to land.
+          emit('f', event.begin_ns, false, ",\"bp\":\"e\"");
+          break;
+        case TracePhase::kAsync:
+          emit('b', event.begin_ns, false, "");
+          emit('e', event.end_ns, false, "");
+          break;
+      }
     }
   }
   out << "]}";

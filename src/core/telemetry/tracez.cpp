@@ -1,0 +1,109 @@
+#include "core/telemetry/tracez.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "core/telemetry/log.hpp"
+
+namespace gnntrans::telemetry {
+
+RequestTraceStore& RequestTraceStore::global() {
+  static RequestTraceStore* store = new RequestTraceStore();
+  return *store;
+}
+
+void RequestTraceStore::record(const RequestTrace& trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  if (slowest_.size() < capacity_) {
+    slowest_.push_back(trace);
+    return;
+  }
+  auto fastest = std::min_element(
+      slowest_.begin(), slowest_.end(),
+      [](const RequestTrace& a, const RequestTrace& b) {
+        return a.wall_seconds < b.wall_seconds;
+      });
+  if (fastest != slowest_.end() && fastest->wall_seconds < trace.wall_seconds)
+    *fastest = trace;
+}
+
+std::vector<RequestTrace> RequestTraceStore::snapshot() const {
+  std::vector<RequestTrace> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = slowest_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              return a.wall_seconds > b.wall_seconds;
+            });
+  return out;
+}
+
+bool RequestTraceStore::find(std::uint64_t trace_id, RequestTrace* out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const RequestTrace& trace : slowest_) {
+    if (trace.trace_id != trace_id) continue;
+    if (out) *out = trace;
+    return true;
+  }
+  return false;
+}
+
+void RequestTraceStore::write_json(std::ostream& out,
+                                   std::size_t limit) const {
+  std::vector<RequestTrace> traces = snapshot();
+  if (limit > 0 && traces.size() > limit) traces.resize(limit);
+  out << "{\"retained\":" << traces.size() << ",\"traces\":[";
+  bool first = true;
+  char buf[512];
+  for (const RequestTrace& t : traces) {
+    if (!first) out << ",";
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"trace_id\":\"0x%016llx\",\"request_id\":%llu,\"attempt\":%u,"
+        "\"batch_size\":%u,\"wall_us\":%.3f,\"queue_us\":%.3f,"
+        "\"batch_wait_us\":%.3f,\"model_us\":%.3f,\"featurize_us\":%.3f,"
+        "\"forward_us\":%.3f,\"fallback_us\":%.3f,\"serialize_us\":%.3f,"
+        "\"write_us\":%.3f,\"slow\":%s,\"degraded\":%s",
+        static_cast<unsigned long long>(t.trace_id),
+        static_cast<unsigned long long>(t.request_id), t.attempt, t.batch_size,
+        t.wall_seconds * 1e6, t.queue_seconds * 1e6,
+        t.batch_wait_seconds * 1e6, t.model_seconds * 1e6,
+        t.featurize_seconds * 1e6, t.forward_seconds * 1e6,
+        t.fallback_seconds * 1e6, t.serialize_seconds * 1e6,
+        t.write_seconds * 1e6, t.slow ? "true" : "false",
+        t.degraded ? "true" : "false");
+    out << buf << ",\"net\":\"" << json_escape(t.net)
+        << "\",\"provenance\":\"" << json_escape(t.provenance) << "\"}";
+  }
+  out << "]}";
+}
+
+std::uint64_t RequestTraceStore::recorded_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+void RequestTraceStore::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slowest_.clear();
+  recorded_ = 0;
+}
+
+void RequestTraceStore::set_capacity(std::size_t slots) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, slots);
+  if (slowest_.size() > capacity_) {
+    std::sort(slowest_.begin(), slowest_.end(),
+              [](const RequestTrace& a, const RequestTrace& b) {
+                return a.wall_seconds > b.wall_seconds;
+              });
+    slowest_.resize(capacity_);
+  }
+}
+
+}  // namespace gnntrans::telemetry

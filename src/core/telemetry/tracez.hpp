@@ -1,0 +1,109 @@
+/// \file tracez.hpp
+/// Retained slowest-N request traces backing the obs server's /tracez
+/// endpoint.
+///
+/// The TraceRecorder rings hold raw spans — good for a timeline, bad for
+/// answering "where did request 4711's 12 ms go?" after the fact. This store
+/// keeps the assembled per-request stage breakdown (queue wait, batch-
+/// formation wait, model featurize/forward/fallback share, response
+/// serialization, socket write) for the slowest N head-sampled requests, so
+/// a p99 exemplar's trace_id scraped from /metrics resolves to a full stage
+/// accounting on /tracez. Fixed memory: a mutex-guarded array of
+/// trivially-copyable records, replaced by wall-time rank.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace gnntrans::telemetry {
+
+namespace detail {
+inline void copy_field(char* dst, std::size_t cap, std::string_view src) noexcept {
+  const std::size_t n = std::min(cap - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+}  // namespace detail
+
+/// One completed, head-sampled request with its stage clock. Durations are
+/// seconds; the stage sum telescopes to wall_seconds up to clock-read noise
+/// (the server stamps adjacent boundaries with the same clock reads).
+struct RequestTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t attempt = 0;
+  std::uint32_t batch_size = 0;
+  char net[48] = {0};
+  char provenance[16] = {0};
+  double wall_seconds = 0.0;        ///< admission to socket-write completion
+  double queue_seconds = 0.0;       ///< admission queue wait
+  double batch_wait_seconds = 0.0;  ///< in-batch wait on peer nets
+  double model_seconds = 0.0;       ///< this net's featurize+forward+fallback
+  double featurize_seconds = 0.0;   ///< share of model_seconds
+  double forward_seconds = 0.0;     ///< share of model_seconds
+  double fallback_seconds = 0.0;    ///< share of model_seconds
+  double serialize_seconds = 0.0;   ///< response frame encode
+  double write_seconds = 0.0;       ///< outbox enqueue to send_all completion
+  bool slow = false;
+  bool degraded = false;
+
+  void set_net(std::string_view name) noexcept {
+    detail::copy_field(net, sizeof(net), name);
+  }
+  void set_provenance(std::string_view p) noexcept {
+    detail::copy_field(provenance, sizeof(provenance), p);
+  }
+
+  /// Sum of the top-level stages (model subsumes its three shares).
+  [[nodiscard]] double stage_sum_seconds() const noexcept {
+    return queue_seconds + batch_wait_seconds + model_seconds +
+           serialize_seconds + write_seconds;
+  }
+};
+
+/// Process-global keeper of the slowest-N completed request traces.
+/// Thread-safe; record() is called once per sampled request (not per net),
+/// so a mutex is plenty.
+class RequestTraceStore {
+ public:
+  RequestTraceStore() = default;
+  RequestTraceStore(const RequestTraceStore&) = delete;
+  RequestTraceStore& operator=(const RequestTraceStore&) = delete;
+
+  [[nodiscard]] static RequestTraceStore& global();
+
+  /// Retains the trace if it ranks among the slowest N by wall_seconds.
+  void record(const RequestTrace& trace);
+
+  /// Retained traces, slowest first.
+  [[nodiscard]] std::vector<RequestTrace> snapshot() const;
+
+  /// Looks up a retained trace by id (exemplar resolution). False if the
+  /// trace was never retained or has been displaced by slower requests.
+  [[nodiscard]] bool find(std::uint64_t trace_id, RequestTrace* out) const;
+
+  /// {"traces":[...]} with stage durations in microseconds, slowest first;
+  /// limit 0 = all retained.
+  void write_json(std::ostream& out, std::size_t limit = 0) const;
+
+  /// Total record() calls since the last clear (retained or not).
+  [[nodiscard]] std::uint64_t recorded_count() const;
+
+  void clear();
+
+  /// Retention slots (default 64). Shrinking drops the fastest extras.
+  void set_capacity(std::size_t slots);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RequestTrace> slowest_;  ///< unsorted; sorted on read
+  std::size_t capacity_ = 64;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace gnntrans::telemetry

@@ -11,10 +11,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
+#include "core/telemetry/metrics.hpp"
 #include "core/telemetry/net_io.hpp"
+#include "core/telemetry/trace.hpp"
 
 namespace gnntrans::serve {
 
@@ -27,6 +30,35 @@ int remaining_ms(Clock::time_point deadline) {
       deadline - Clock::now());
   return left.count() > 0 ? static_cast<int>(left.count()) : 0;
 }
+
+/// gnntrans_client_* observability, registered once (idempotent by name).
+struct ClientMetrics {
+  telemetry::Counter reconnects = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_client_reconnects_total",
+      "Connections re-established after a transport failure");
+  telemetry::Counter retries = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_client_retries_total", "Request attempts beyond the first");
+  telemetry::Counter retries_transport =
+      telemetry::MetricsRegistry::global().counter(
+          "gnntrans_client_retries_transport_total",
+          "Retries caused by connect/send/recv/EOF/timeout failures");
+  telemetry::Counter retries_overload =
+      telemetry::MetricsRegistry::global().counter(
+          "gnntrans_client_retries_overload_total",
+          "Retries caused by typed kOverloaded rejects");
+  telemetry::Counter retries_malformed =
+      telemetry::MetricsRegistry::global().counter(
+          "gnntrans_client_retries_malformed_total",
+          "Retries caused by typed kMalformedFrame rejects");
+  telemetry::Counter backoff_ms = telemetry::MetricsRegistry::global().counter(
+      "gnntrans_client_backoff_ms_total",
+      "Cumulative milliseconds slept in retry backoff");
+
+  static const ClientMetrics& get() {
+    static const ClientMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -74,6 +106,8 @@ bool NetClient::ensure_connected() {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   read_buffer_.clear();
+  if (ever_connected_) ClientMetrics::get().reconnects.inc();
+  ever_connected_ = true;
   return true;
 }
 
@@ -111,6 +145,8 @@ bool NetClient::read_response(std::uint64_t request_id,
 NetClient::Result NetClient::estimate(const rcnet::RcNet& net,
                                       const features::NetContext& context,
                                       std::uint32_t deadline_us) {
+  const ClientMetrics& metrics = ClientMetrics::get();
+  telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::global();
   Result result;
   RequestFrame request;
   request.request_id =
@@ -118,12 +154,57 @@ NetClient::Result NetClient::estimate(const rcnet::RcNet& net,
   request.deadline_us = deadline_us;
   request.net = net;
   request.context = context;
+  // Head-sampling decision: pure hash of request_id, so the retry loop and
+  // the server agree without coordination. Purely telemetry — the request
+  // content and the estimate are identical either way.
+  const telemetry::TraceContext trace =
+      recorder.head_sample(request.request_id);
+  request.trace = trace;
+  result.trace_id = trace.trace_id;
 
+  const std::int64_t lane_begin_ns = trace.sampled ? recorder.now_ns() : 0;
+  bool flow_started = false;
+  // Closes the request's trace: 'f' terminates the flow arrows and the async
+  // 'b'/'e' lane spans the whole client-side request including retries.
+  const auto finish_trace = [&] {
+    if (!trace.sampled || !recorder.enabled()) return;
+    if (flow_started)
+      recorder.record_flow(telemetry::TracePhase::kFlowEnd, "client_done",
+                           "request", trace.trace_id);
+    recorder.record_event("request", "request", lane_begin_ns,
+                          recorder.now_ns(), telemetry::TracePhase::kAsync,
+                          trace.trace_id);
+  };
+  // Failure statuses carry the trace_id, so "why was this slow/failed" has a
+  // handle into /tracez and the Chrome trace.
+  const auto with_trace = [&trace](std::string message) {
+    if (trace.valid()) {
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), " [trace_id=0x%016llx]",
+                    static_cast<unsigned long long>(trace.trace_id));
+      message += suffix;
+    }
+    return message;
+  };
+
+  enum class Reason { kNone, kTransport, kOverload, kMalformed };
+  Reason last_failure = Reason::kNone;
   int backoff_ms = config_.backoff_initial_ms;
   const int total_attempts = 1 + std::max(0, config_.max_retries);
   for (int attempt = 0; attempt < total_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      metrics.retries.inc();
+      switch (last_failure) {
+        case Reason::kTransport: metrics.retries_transport.inc(); break;
+        case Reason::kOverload: metrics.retries_overload.inc(); break;
+        case Reason::kMalformed: metrics.retries_malformed.inc(); break;
+        case Reason::kNone: break;
+      }
+      metrics.backoff_ms.inc(static_cast<std::uint64_t>(backoff_ms));
+      {
+        const telemetry::TraceSpan backoff_span("backoff", "request", trace);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
       backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
     }
     ++result.attempts;
@@ -131,20 +212,34 @@ NetClient::Result NetClient::estimate(const rcnet::RcNet& net,
     // keys on it, so a retry re-rolls its fault dice instead of hitting the
     // same injected failure forever.
     request.attempt = static_cast<std::uint32_t>(attempt);
+    // Attempt-linked child span: each retry is its own span on the request's
+    // flow lane, so the Chrome trace shows where the attempts went.
+    const telemetry::TraceSpan attempt_span("attempt", "request", trace);
 
     if (!ensure_connected()) {
       ++result.transport_failures;
+      last_failure = Reason::kTransport;
       continue;
+    }
+    if (trace.sampled && recorder.enabled()) {
+      recorder.record_flow(
+          flow_started ? telemetry::TracePhase::kFlowStep
+                       : telemetry::TracePhase::kFlowStart,
+          flow_started ? "client_resend" : "client_send", "request",
+          trace.trace_id);
+      flow_started = true;
     }
     if (!telemetry::send_all(fd_, encode_request(request),
                              config_.request_timeout_ms)) {
       ++result.transport_failures;
+      last_failure = Reason::kTransport;
       disconnect();
       continue;
     }
     ResponseFrame response;
     if (!read_response(request.request_id, &response)) {
       ++result.transport_failures;
+      last_failure = Reason::kTransport;
       disconnect();  // a late answer must not bleed into the next request
       continue;
     }
@@ -152,25 +247,33 @@ NetClient::Result NetClient::estimate(const rcnet::RcNet& net,
     switch (response.status) {
       case core::ErrorCode::kOverloaded:
         ++result.overload_rejects;
+        last_failure = Reason::kOverload;
         if (config_.retry_overloaded) continue;  // shed: back off and retry
         break;                                   // caller wants the reject
       case core::ErrorCode::kMalformedFrame:
         // Transient by construction here: our frames are well-formed, so
         // this is an injected decode fault (or corruption) — retry.
+        last_failure = Reason::kMalformed;
         continue;
       default:
         break;
     }
     // Terminal: served (kOk or a degraded ladder status with paths) or a
     // typed reject retrying cannot fix (kShuttingDown, kDeadlineExceeded…).
-    result.status = core::Status(response.status, std::move(response.message));
+    result.status = core::Status(
+        response.status, response.status == core::ErrorCode::kOk
+                             ? std::move(response.message)
+                             : with_trace(std::move(response.message)));
     result.provenance = response.provenance;
     result.paths = std::move(response.paths);
+    finish_trace();
     return result;
   }
   result.status = core::Status(
       core::ErrorCode::kTimeout,
-      "no response after " + std::to_string(result.attempts) + " attempts");
+      with_trace("no response after " + std::to_string(result.attempts) +
+                 " attempts"));
+  finish_trace();
   return result;
 }
 

@@ -21,6 +21,15 @@
 /// request_ids are (client_id << 32) | sequence, so ids from concurrent
 /// clients never collide and the server's fault keys stay process-unique.
 ///
+/// Tracing: every request is offered to TraceRecorder::head_sample (a pure
+/// hash of the request_id, so the decision is stable across retries) and a
+/// sampled request's TraceContext rides the v2 trace block to the server.
+/// The client records the request's async lane plus per-attempt and backoff
+/// spans linked by trace_id, and failure Statuses carry the trace_id so a
+/// slow or failed request can be looked up on /tracez. Retry behavior is
+/// exported as gnntrans_client_* counters (reconnects, retries by reason,
+/// cumulative backoff).
+///
 /// Not thread-safe: one NetClient per thread.
 #pragma once
 
@@ -65,6 +74,10 @@ class NetClient {
     std::uint32_t attempts = 0;            ///< attempts actually made
     std::uint32_t transport_failures = 0;  ///< connect/send/recv/EOF failures
     std::uint32_t overload_rejects = 0;    ///< typed kOverloaded answers seen
+    /// Head-sampling identity of this request (0 when the recorder is
+    /// disabled). Nonzero even for unsampled requests, so failures are
+    /// correlatable; resolves on /tracez only when the request was sampled.
+    std::uint64_t trace_id = 0;
 
     [[nodiscard]] bool served() const noexcept {
       return provenance != core::EstimateProvenance::kFailed;
@@ -97,6 +110,7 @@ class NetClient {
 
   NetClientConfig config_;
   int fd_ = -1;
+  bool ever_connected_ = false;  ///< distinguishes reconnects from first dial
   std::uint64_t next_seq_ = 0;
   std::string read_buffer_;
 };

@@ -37,11 +37,11 @@ void put_f64(std::string& out, double v) {
 }
 
 void put_header(std::string& out, std::uint8_t type, std::uint64_t request_id,
-                std::uint32_t attempt) {
+                std::uint32_t attempt, std::uint16_t flags = 0) {
   put_u32(out, kMagic);
   put_u8(out, kVersion);
   put_u8(out, type);
-  put_u16(out, 0);  // reserved
+  put_u16(out, flags);
   put_u64(out, request_id);
   put_u32(out, attempt);
 }
@@ -137,21 +137,41 @@ core::Status malformed(const std::string& why) {
   return {core::ErrorCode::kMalformedFrame, why};
 }
 
-/// Parses and validates the shared header; fills id/attempt, checks type.
+/// Parses and validates the shared header; fills id/attempt/flags, checks
+/// type. Accepts versions kMinVersion..kVersion; v1 predates the flags field
+/// (the bytes were "reserved"), so its flags are forced to 0 rather than
+/// interpreted.
 core::Status get_header(Reader& r, std::uint8_t want_type,
-                        std::uint64_t* request_id, std::uint32_t* attempt) {
+                        std::uint64_t* request_id, std::uint32_t* attempt,
+                        std::uint16_t* flags) {
   const std::uint32_t magic = r.get_u32();
   const std::uint8_t version = r.get_u8();
   const std::uint8_t type = r.get_u8();
-  r.get_u16();  // reserved
+  *flags = r.get_u16();
   *request_id = r.get_u64();
   *attempt = r.get_u32();
   if (!r.ok()) return malformed("truncated header");
   if (magic != kMagic) return malformed("bad magic");
-  if (version != kVersion)
+  if (version < kMinVersion || version > kVersion)
     return malformed("unsupported protocol version " + std::to_string(version));
+  if (version < 2) {
+    *flags = 0;
+  } else if ((*flags & ~kFlagTraceContext) != 0) {
+    return malformed("unknown header flags " + std::to_string(*flags));
+  }
   if (type != want_type)
     return malformed("unexpected frame type " + std::to_string(type));
+  return core::Status::ok_status();
+}
+
+/// Parses the 17-byte trace-context block announced by kFlagTraceContext.
+core::Status get_trace_block(Reader& r, telemetry::TraceContext* trace) {
+  trace->trace_id = r.get_u64();
+  trace->span_id = r.get_u64();
+  const std::uint8_t sampled = r.get_u8();
+  if (!r.ok()) return malformed("truncated trace context");
+  if (sampled > 1) return malformed("trace sampled flag out of range");
+  trace->sampled = sampled == 1;
   return core::Status::ok_status();
 }
 
@@ -164,7 +184,14 @@ std::string encode_request(const RequestFrame& request) {
   p.reserve(64 + net.name.size() + 8 * net.ground_cap.size() +
             16 * net.resistors.size() + 20 * net.couplings.size() +
             4 * net.sinks.size() + 16 * ctx.loads.size());
-  put_header(p, kTypeEstimateRequest, request.request_id, request.attempt);
+  const bool traced = request.trace.valid();
+  put_header(p, kTypeEstimateRequest, request.request_id, request.attempt,
+             traced ? kFlagTraceContext : std::uint16_t{0});
+  if (traced) {
+    put_u64(p, request.trace.trace_id);
+    put_u64(p, request.trace.span_id);
+    put_u8(p, request.trace.sampled ? 1 : 0);
+  }
   put_u32(p, request.deadline_us);
 
   // Truncate to what a u16 length can carry (net names never approach 64 KiB;
@@ -226,10 +253,14 @@ std::string encode_response(const ResponseFrame& response) {
 core::Status decode_request(std::string_view payload, RequestFrame* out) {
   *out = RequestFrame{};
   Reader r(payload);
+  std::uint16_t flags = 0;
   if (core::Status s = get_header(r, kTypeEstimateRequest, &out->request_id,
-                                  &out->attempt);
+                                  &out->attempt, &flags);
       !s.ok())
     return s;
+  if (flags & kFlagTraceContext) {
+    if (core::Status s = get_trace_block(r, &out->trace); !s.ok()) return s;
+  }
   out->deadline_us = r.get_u32();
 
   rcnet::RcNet& net = out->net;
@@ -288,10 +319,15 @@ core::Status decode_request(std::string_view payload, RequestFrame* out) {
 core::Status decode_response(std::string_view payload, ResponseFrame* out) {
   *out = ResponseFrame{};
   Reader r(payload);
+  std::uint16_t flags = 0;
   if (core::Status s = get_header(r, kTypeEstimateResponse, &out->request_id,
-                                  &out->attempt);
+                                  &out->attempt, &flags);
       !s.ok())
     return s;
+  // The trace block rides requests only; the client already owns the
+  // context, so a response announcing one is a framing error.
+  if (flags & kFlagTraceContext)
+    return malformed("unexpected trace context on response");
   const std::uint8_t status = r.get_u8();
   const std::uint8_t provenance = r.get_u8();
   if (status >= core::kErrorCodeCount) return malformed("status out of range");

@@ -7,9 +7,11 @@
 /// estimate_batch survives the network hop):
 ///
 ///   frame    := u32 payload_length | payload          (length excludes itself)
-///   payload  := header | body
-///   header   := u32 magic 'GNTR' | u8 version | u8 type | u16 reserved
+///   payload  := header | [trace] | body
+///   header   := u32 magic 'GNTR' | u8 version | u8 type | u16 flags
 ///             | u64 request_id | u32 attempt
+///   trace    := u64 trace_id | u64 parent_span_id | u8 sampled
+///               (present iff flags bit 0 is set; requests only; v2+)
 ///   request  := u32 deadline_us | rcnet | context     (type = 1)
 ///   rcnet    := u16 name_len | name bytes
 ///             | u32 node_count | u32 source
@@ -33,6 +35,12 @@
 /// against the bytes actually remaining before any allocation sized from it,
 /// and trailing garbage after a well-formed body is itself a malformed frame.
 /// A hostile or corrupted peer gets a typed kMalformedFrame, never UB.
+///
+/// Versioning: v2 added the optional trace-context block, carried only when
+/// the header flags announce it. v1 frames (no trace block, flags were
+/// "reserved" and are ignored) still decode — tracing is simply absent. A v2
+/// frame with unknown flag bits, a truncated trace block, or a sampled byte
+/// other than 0/1 is a typed kMalformedFrame.
 #pragma once
 
 #include <cstddef>
@@ -43,15 +51,20 @@
 
 #include "core/estimator.hpp"
 #include "core/status.hpp"
+#include "core/telemetry/trace.hpp"
 #include "features/features.hpp"
 #include "rcnet/rcnet.hpp"
 
 namespace gnntrans::serve {
 
 inline constexpr std::uint32_t kMagic = 0x474E5452;  // 'GNTR'
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
+/// Oldest version this build still decodes (pre-tracing frames).
+inline constexpr std::uint8_t kMinVersion = 1;
 inline constexpr std::uint8_t kTypeEstimateRequest = 1;
 inline constexpr std::uint8_t kTypeEstimateResponse = 2;
+/// Header flag: a 17-byte trace-context block follows the header.
+inline constexpr std::uint16_t kFlagTraceContext = 1u << 0;
 
 /// Default ceiling on one frame's payload. A 1 MiB frame holds an RC net of
 /// ~40k resistors — far beyond any net the extractor emits — while bounding
@@ -72,6 +85,11 @@ struct RequestFrame {
   /// Per-request latency budget in microseconds from server admission;
   /// 0 = none. Propagated into BatchOptions::deadline_seconds.
   std::uint32_t deadline_us = 0;
+  /// Request-scoped trace identity (v2 trace block). Encoded only when
+  /// valid(); absent (all zero) when decoding a v1 frame or an untraced v2
+  /// frame. The sampled flag tells the server whether to record stage spans
+  /// and retain the stage breakdown for this request.
+  telemetry::TraceContext trace;
   rcnet::RcNet net;
   features::NetContext context;
 };

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/fault_injector.hpp"
@@ -17,6 +18,7 @@
 #include "core/telemetry/log.hpp"
 #include "core/telemetry/metrics.hpp"
 #include "core/telemetry/net_io.hpp"
+#include "core/telemetry/trace.hpp"
 
 namespace gnntrans::serve {
 
@@ -84,6 +86,31 @@ struct NetMetrics {
           "gnntrans_net_request_seconds",
           telemetry::HistogramData::default_latency_bounds(),
           "Admission-to-delivery latency of served requests");
+  // Per-request stage clock (observed for every served request; the stages
+  // telescope to request_seconds up to clock-read noise).
+  telemetry::Histogram stage_queue = telemetry::MetricsRegistry::global().histogram(
+      "gnntrans_net_stage_queue_seconds",
+      telemetry::HistogramData::default_latency_bounds(),
+      "Stage clock: admission-queue wait before batch formation");
+  telemetry::Histogram stage_batch_wait =
+      telemetry::MetricsRegistry::global().histogram(
+          "gnntrans_net_stage_batch_wait_seconds",
+          telemetry::HistogramData::default_latency_bounds(),
+          "Stage clock: in-batch wait on peer nets (batch wall minus own "
+          "model time)");
+  telemetry::Histogram stage_model = telemetry::MetricsRegistry::global().histogram(
+      "gnntrans_net_stage_model_seconds",
+      telemetry::HistogramData::default_latency_bounds(),
+      "Stage clock: this net's featurize+forward+fallback time");
+  telemetry::Histogram stage_serialize =
+      telemetry::MetricsRegistry::global().histogram(
+          "gnntrans_net_stage_serialize_seconds",
+          telemetry::HistogramData::default_latency_bounds(),
+          "Stage clock: response frame encode");
+  telemetry::Histogram stage_write = telemetry::MetricsRegistry::global().histogram(
+      "gnntrans_net_stage_write_seconds",
+      telemetry::HistogramData::default_latency_bounds(),
+      "Stage clock: outbox-ready to socket-write completion");
   telemetry::Counter undeliverable = telemetry::MetricsRegistry::global().counter(
       "gnntrans_net_responses_undeliverable_total",
       "Responses whose connection was gone before delivery");
@@ -143,12 +170,24 @@ void peek_ids(std::string_view payload, std::uint64_t* id,
 /// abortive-close flag (fault injection, protocol abuse): the thread exits
 /// without flushing the outbox, so the peer observes a dropped connection.
 struct NetServer::Connection {
+  /// One outbound frame plus its stage-clock context. `ready` stamps outbox
+  /// entry (start of the write stage); `admitted` is the request's admission
+  /// time (set for served responses, not rejects); `trace` carries the
+  /// partially-filled stage breakdown of a head-sampled request for the
+  /// connection thread to finalize at write completion.
+  struct Outgoing {
+    std::string frame;
+    std::unique_ptr<telemetry::RequestTrace> trace;
+    Clock::time_point admitted{};
+    Clock::time_point ready{};
+  };
+
   int fd = -1;
   int wake[2] = {-1, -1};
   std::uint64_t id = 0;
   std::mutex mutex;
-  std::deque<std::string> outbox;  // guarded by mutex
-  bool closing = false;            // guarded by mutex
+  std::deque<Outgoing> outbox;  // guarded by mutex
+  bool closing = false;         // guarded by mutex
   std::atomic<bool> done{false};
   std::thread thread;
 
@@ -170,6 +209,7 @@ struct NetServer::Pending {
   std::shared_ptr<Connection> conn;
   RequestFrame request;
   Clock::time_point enqueued;
+  double queue_wait = 0.0;  ///< stamped at batch formation (deadline triage)
 };
 
 NetServer::NetServer(const core::WireTimingEstimator& estimator,
@@ -351,9 +391,56 @@ void NetServer::connection_loop(const std::shared_ptr<Connection>& conn) {
   Clock::time_point last_byte = Clock::now();
   bool abortive = false;
 
+  // Write-completion bookkeeping, run after a successful send. The write
+  // stage covers outbox-ready to send completion; served responses (admitted
+  // stamp set) observe it into the stage histogram, and head-sampled requests
+  // additionally close their stage clock: wall time from admission, a "write"
+  // span on the request's flow lane, the request_seconds p99 exemplar, a
+  // retained /tracez record, and — when slow or degraded — a pinned flight
+  // entry whose error field carries the trace id.
+  const auto finish_delivery = [&metrics](Connection::Outgoing& msg) {
+    const double write_s = seconds_since(msg.ready);
+    if (msg.admitted != Clock::time_point{}) metrics.stage_write.observe(write_s);
+    if (!msg.trace) return;
+    telemetry::RequestTrace& rt = *msg.trace;
+    rt.write_seconds = write_s;
+    rt.wall_seconds = seconds_since(msg.admitted);
+    telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::global();
+    if (recorder.enabled()) {
+      const std::int64_t now_ns = recorder.now_ns();
+      recorder.record_event(
+          "write", "request",
+          now_ns - static_cast<std::int64_t>(write_s * 1e9), now_ns,
+          telemetry::TracePhase::kComplete, rt.trace_id);
+    }
+    metrics.request_seconds.annotate_exemplar(rt.wall_seconds, rt.trace_id,
+                                              rt.net);
+    telemetry::RequestTraceStore::global().record(rt);
+    if (rt.slow || rt.degraded) {
+      telemetry::FlightRecorder& flight = telemetry::FlightRecorder::global();
+      if (flight.enabled()) {
+        telemetry::FlightRecord fr;
+        fr.set_net(rt.net);
+        fr.set_outcome("request");
+        char detail[24];
+        std::snprintf(detail, sizeof(detail), "t:%016llx",
+                      static_cast<unsigned long long>(rt.trace_id));
+        fr.set_error(detail);
+        fr.featurize_us = static_cast<float>(rt.featurize_seconds * 1e6);
+        fr.forward_us = static_cast<float>(rt.forward_seconds * 1e6);
+        fr.fallback_us = static_cast<float>(rt.fallback_seconds * 1e6);
+        fr.total_us = static_cast<float>(rt.wall_seconds * 1e6);
+        fr.slow = rt.slow ? 1 : 0;
+        fr.degraded = rt.degraded ? 1 : 0;
+        fr.pinned = 1;
+        flight.record(fr);
+      }
+    }
+  };
+
   for (;;) {
     // Deliver everything queued for this client first.
-    std::deque<std::string> out;
+    std::deque<Connection::Outgoing> out;
     {
       std::lock_guard<std::mutex> lock(conn->mutex);
       if (conn->closing) {
@@ -363,15 +450,16 @@ void NetServer::connection_loop(const std::shared_ptr<Connection>& conn) {
       out.swap(conn->outbox);
     }
     bool write_failed = false;
-    for (const std::string& frame : out) {
+    for (Connection::Outgoing& msg : out) {
       // send_all counts the failure in gnntrans_obs_send_failures_total; a
       // slow or gone client costs at most write_timeout_ms here.
-      if (!telemetry::send_all(conn->fd, frame, config_.write_timeout_ms)) {
+      if (!telemetry::send_all(conn->fd, msg.frame, config_.write_timeout_ms)) {
         ledger_.undeliverable.fetch_add(1, std::memory_order_relaxed);
         metrics.undeliverable.inc();
         write_failed = true;
         break;
       }
+      finish_delivery(msg);
     }
     if (write_failed) break;
 
@@ -425,13 +513,15 @@ void NetServer::connection_loop(const std::shared_ptr<Connection>& conn) {
         if (close_conn) {
           // Flush the reject (if any) before closing so the client sees a
           // typed answer, not just a reset.
-          std::deque<std::string> tail;
+          std::deque<Connection::Outgoing> tail;
           {
             std::lock_guard<std::mutex> lock(conn->mutex);
             tail.swap(conn->outbox);
           }
-          for (const std::string& frame : tail)
-            (void)telemetry::send_all(conn->fd, frame, config_.write_timeout_ms);
+          for (Connection::Outgoing& msg : tail)
+            if (telemetry::send_all(conn->fd, msg.frame,
+                                    config_.write_timeout_ms))
+              finish_delivery(msg);
           break;
         }
       }
@@ -498,6 +588,14 @@ bool NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
   ledger_.requests_decoded.fetch_add(1, std::memory_order_relaxed);
   metrics.requests.inc();
 
+  // Flow step on the request's async lane: client 's' → this 't' →
+  // batch/model spans → client 'f' renders as one arrowed lane in the Chrome
+  // trace viewer.
+  if (request.trace.sampled)
+    telemetry::TraceRecorder::global().record_flow(
+        telemetry::TracePhase::kFlowStep, "server_admit", "request",
+        request.trace.trace_id);
+
   if (faults.armed() &&
       faults.should_fail(core::FaultSite::kNetDecode, key)) {
     // Injected decode fault: typed reject, connection stays healthy.
@@ -550,12 +648,19 @@ void NetServer::send_reject(const std::shared_ptr<Connection>& conn,
   (void)enqueue_response(conn, encode_response(reject));
 }
 
-bool NetServer::enqueue_response(const std::shared_ptr<Connection>& conn,
-                                 std::string frame) {
+bool NetServer::enqueue_response(
+    const std::shared_ptr<Connection>& conn, std::string frame,
+    std::unique_ptr<telemetry::RequestTrace> trace,
+    std::chrono::steady_clock::time_point admitted) {
+  Connection::Outgoing msg;
+  msg.frame = std::move(frame);
+  msg.trace = std::move(trace);
+  msg.admitted = admitted;
+  msg.ready = Clock::now();
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     if (conn->closing) return false;
-    conn->outbox.push_back(std::move(frame));
+    conn->outbox.push_back(std::move(msg));
   }
   conn->wake_up();
   return true;
@@ -624,6 +729,20 @@ void NetServer::batch_loop() {
                                 batch_start - pending.enqueued)
                                 .count();
       metrics.queue_wait.observe(waited);
+      metrics.stage_queue.observe(waited);
+      pending.queue_wait = waited;
+      if (pending.request.trace.sampled) {
+        // Retrospective "queue" span: begin reconstructed from the wait so
+        // the span abuts batch formation exactly.
+        telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::global();
+        if (recorder.enabled()) {
+          const std::int64_t now_ns = recorder.now_ns();
+          recorder.record_event(
+              "queue", "request",
+              now_ns - static_cast<std::int64_t>(waited * 1e9), now_ns,
+              telemetry::TracePhase::kComplete, pending.request.trace.trace_id);
+        }
+      }
       if (pending.request.deadline_us > 0) {
         const double remaining =
             static_cast<double>(pending.request.deadline_us) * 1e-6 - waited;
@@ -659,12 +778,17 @@ void NetServer::batch_loop() {
 
     std::vector<core::NetBatchItem> items;
     items.reserve(kept.size());
-    for (const Pending& pending : kept)
+    std::vector<telemetry::TraceContext> traces;
+    traces.reserve(kept.size());
+    for (const Pending& pending : kept) {
       items.push_back({&pending.request.net, &pending.request.context});
+      traces.push_back(pending.request.trace);
+    }
 
     core::BatchOptions options = config_.batch;
     options.pool = pool_.get();
     options.workspaces = &workspaces_;
+    options.traces = &traces;
     // The batch inherits the tightest per-request budget: estimate_batch's
     // deadline is relative to its own start, which is (to within triage
     // microseconds) the remaining budget computed above.
@@ -700,6 +824,14 @@ void NetServer::batch_loop() {
         pending.conn->wake_up();
         continue;
       }
+      // Stage clock: batch wall minus this net's own model time is the wait
+      // on peer nets; the split telescopes (queue + batch_wait + model +
+      // serialize + write ≈ wall) because adjacent stage boundaries share
+      // clock reads.
+      const double batch_elapsed =
+          std::chrono::duration<double>(Clock::now() - batch_start).count();
+      const double batch_wait =
+          std::max(0.0, batch_elapsed - outcomes[i].net_seconds);
       ResponseFrame response;
       response.request_id = pending.request.request_id;
       response.attempt = pending.request.attempt;
@@ -707,7 +839,38 @@ void NetServer::batch_loop() {
       response.provenance = outcomes[i].provenance;
       response.message = outcomes[i].message;
       response.paths = results[i];
-      if (enqueue_response(pending.conn, encode_response(response))) {
+      const Clock::time_point encode_start = Clock::now();
+      std::string frame = encode_response(response);
+      const double serialize = seconds_since(encode_start);
+      metrics.stage_batch_wait.observe(batch_wait);
+      metrics.stage_model.observe(outcomes[i].net_seconds);
+      metrics.stage_serialize.observe(serialize);
+
+      std::unique_ptr<telemetry::RequestTrace> trace;
+      if (pending.request.trace.sampled) {
+        metrics.stage_model.annotate_exemplar(outcomes[i].net_seconds,
+                                              pending.request.trace.trace_id,
+                                              pending.request.net.name);
+        trace = std::make_unique<telemetry::RequestTrace>();
+        trace->trace_id = pending.request.trace.trace_id;
+        trace->request_id = pending.request.request_id;
+        trace->attempt = pending.request.attempt;
+        trace->batch_size = static_cast<std::uint32_t>(kept.size());
+        trace->set_net(pending.request.net.name);
+        trace->set_provenance(core::to_string(outcomes[i].provenance));
+        trace->queue_seconds = pending.queue_wait;
+        trace->batch_wait_seconds = batch_wait;
+        trace->model_seconds = outcomes[i].net_seconds;
+        trace->featurize_seconds = outcomes[i].featurize_seconds;
+        trace->forward_seconds = outcomes[i].forward_seconds;
+        trace->fallback_seconds = outcomes[i].fallback_seconds;
+        trace->serialize_seconds = serialize;
+        trace->slow = outcomes[i].slow;
+        trace->degraded =
+            outcomes[i].provenance != core::EstimateProvenance::kModel;
+      }
+      if (enqueue_response(pending.conn, std::move(frame), std::move(trace),
+                           pending.enqueued)) {
         ledger_.served.fetch_add(1, std::memory_order_relaxed);
         metrics.served.inc();
         metrics.request_seconds.observe(seconds_since(pending.enqueued));

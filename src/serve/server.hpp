@@ -41,9 +41,21 @@
 /// re-rolls deterministically instead of failing forever. The soak test arms
 /// only kNetworkSiteMask: the model path stays fault-free and served
 /// responses stay bitwise-identical to a direct estimate_batch call.
+///
+/// Request tracing: every request carries a per-request stage clock —
+/// admission, queue wait, batch-formation wait, model share (from
+/// NetOutcome), response serialization, socket write — observed into the
+/// gnntrans_net_stage_* histograms for all requests. Head-sampled requests
+/// (protocol v2 trace block, TraceContext::sampled) additionally get
+/// request-tagged trace spans + flow steps on every thread they cross, a
+/// retained stage breakdown in telemetry::RequestTraceStore (/tracez), a
+/// p99 exemplar on gnntrans_net_request_seconds, and — when slow or
+/// degraded — a pinned flight-recorder entry. All of it is telemetry-only:
+/// traced and untraced runs produce bitwise-identical estimates.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -55,6 +67,7 @@
 
 #include "core/autoscaler.hpp"
 #include "core/estimator.hpp"
+#include "core/telemetry/tracez.hpp"
 #include "core/thread_pool.hpp"
 #include "serve/protocol.hpp"
 
@@ -178,9 +191,14 @@ class NetServer {
                    core::ErrorCode code, const std::string& message);
 
   /// Queues an encoded frame on \p conn's outbox and wakes its thread.
-  /// Returns false when the connection is already closing.
-  bool enqueue_response(const std::shared_ptr<Connection>& conn,
-                        std::string frame);
+  /// Returns false when the connection is already closing. \p trace, when
+  /// set, is the partially-filled stage breakdown of a head-sampled request;
+  /// the connection thread finalizes it (write stage + wall from
+  /// \p admitted) after the socket write succeeds.
+  bool enqueue_response(
+      const std::shared_ptr<Connection>& conn, std::string frame,
+      std::unique_ptr<telemetry::RequestTrace> trace = nullptr,
+      std::chrono::steady_clock::time_point admitted = {});
 
   void reap_finished_connections();
 

@@ -368,6 +368,40 @@ TEST(FlightRecorder, WriteJsonFdIsWellFormed) {
   EXPECT_NE(json.find("invalid_net"), std::string::npos);
 }
 
+TEST(FlightRecorder, JsonFilterByNetAndNewestN) {
+  FlightRecorder& flight = FlightRecorder::global();
+  flight.clear();
+  flight.record(make_record("filter_a", false, false));
+  flight.record(make_record("filter_b", false, false));
+  flight.record(make_record("filter_a", false, false));
+
+  // Net filter: only matching records survive, and the JSON stays valid.
+  std::ostringstream by_net;
+  flight.write_json(by_net, {0, "filter_b"});
+  EXPECT_TRUE(JsonChecker(by_net.str()).valid()) << by_net.str();
+  EXPECT_NE(by_net.str().find("filter_b"), std::string::npos);
+  EXPECT_EQ(by_net.str().find("filter_a"), std::string::npos);
+
+  // Count limit keeps the newest records; composed with the net filter it
+  // keeps the newest match.
+  std::ostringstream newest;
+  flight.write_json(newest, {1, "filter_a"});
+  EXPECT_TRUE(JsonChecker(newest.str()).valid());
+  std::size_t matches = 0;
+  for (std::size_t at = newest.str().find("\"net\":\"filter_a\"");
+       at != std::string::npos;
+       at = newest.str().find("\"net\":\"filter_a\"", at + 1))
+    ++matches;
+  EXPECT_EQ(matches, 1u) << newest.str();
+
+  // An unfiltered write still sees everything.
+  std::ostringstream all;
+  flight.write_json(all);
+  EXPECT_NE(all.str().find("filter_a"), std::string::npos);
+  EXPECT_NE(all.str().find("filter_b"), std::string::npos);
+  flight.clear();
+}
+
 // ---------------------------------------------------------------------------
 // Adaptive span sampling
 
@@ -591,6 +625,78 @@ TEST(ObsServer, MetricsEndpointsRoundTrip) {
   EXPECT_TRUE(JsonChecker(flight.body).valid()) << flight.body;
 
   server.stop();
+}
+
+TEST(ObsServer, FlightEndpointHonorsCountAndNetFilters) {
+  FlightRecorder& flight = FlightRecorder::global();
+  flight.clear();
+  flight.record(make_record("http_filter_a", false, false));
+  flight.record(make_record("http_filter_b", false, false));
+
+  ObsServer server;
+  server.start();
+
+  const HttpResponse by_net =
+      http_get(server.port(), "/flight?net=http_filter_b");
+  EXPECT_EQ(by_net.status, 200);
+  EXPECT_TRUE(JsonChecker(by_net.body).valid()) << by_net.body;
+  EXPECT_NE(by_net.body.find("http_filter_b"), std::string::npos);
+  EXPECT_EQ(by_net.body.find("http_filter_a"), std::string::npos);
+
+  const HttpResponse limited =
+      http_get(server.port(), "/flight?n=1&net=http_filter_a");
+  EXPECT_EQ(limited.status, 200);
+  EXPECT_TRUE(JsonChecker(limited.body).valid());
+  EXPECT_NE(limited.body.find("http_filter_a"), std::string::npos);
+
+  server.stop();
+  flight.clear();
+}
+
+TEST(ObsServer, TracezListsRetainedTracesSlowestFirst) {
+  RequestTraceStore& store = RequestTraceStore::global();
+  store.clear();
+  const auto make = [](std::uint64_t id, double wall, const char* net) {
+    RequestTrace t;
+    t.trace_id = id;
+    t.request_id = id * 10;
+    t.batch_size = 4;
+    t.wall_seconds = wall;
+    t.queue_seconds = wall / 2;
+    t.model_seconds = wall / 2;
+    t.set_net(net);
+    t.set_provenance("model");
+    return t;
+  };
+  store.record(make(0xAA, 0.004, "tz_fast"));
+  store.record(make(0xBB, 0.040, "tz_slow"));
+  store.record(make(0xCC, 0.010, "tz_mid"));
+
+  ObsServer server;
+  server.start();
+
+  const HttpResponse all = http_get(server.port(), "/tracez");
+  EXPECT_EQ(all.status, 200);
+  EXPECT_TRUE(JsonChecker(all.body).valid()) << all.body;
+  EXPECT_NE(all.body.find("\"retained\":3"), std::string::npos);
+  EXPECT_NE(all.body.find("tz_slow"), std::string::npos);
+  EXPECT_NE(all.body.find("tz_fast"), std::string::npos);
+  // trace_ids render as the same 0x%016llx handles the exemplars carry.
+  EXPECT_NE(all.body.find("\"trace_id\":\"0x00000000000000bb\""),
+            std::string::npos);
+  // Slowest first: the 40 ms trace leads the 10 ms one.
+  EXPECT_LT(all.body.find("tz_slow"), all.body.find("tz_mid"));
+
+  // ?n=1 keeps only the slowest.
+  const HttpResponse top = http_get(server.port(), "/tracez?n=1");
+  EXPECT_EQ(top.status, 200);
+  EXPECT_TRUE(JsonChecker(top.body).valid());
+  EXPECT_NE(top.body.find("tz_slow"), std::string::npos);
+  EXPECT_EQ(top.body.find("tz_fast"), std::string::npos);
+  EXPECT_EQ(top.body.find("tz_mid"), std::string::npos);
+
+  server.stop();
+  store.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,9 @@
 // Network serving front-end tests: the wire protocol (bitwise round-trips,
-// bounds-checked decode, frame reassembly), the hardened admission path
+// bounds-checked decode, frame reassembly, the v2 trace-context block and v1
+// compatibility), request tracing end to end (stage-clock telescoping, p99
+// exemplar resolution on /tracez, bitwise non-intrusiveness, trace ids in
+// failure statuses, gnntrans_client_* retry counters), the hardened admission
+// path
 // (typed kOverloaded load-shedding, per-request deadlines, kShuttingDown
 // drain), malformed-frame survival (truncated prefixes, hostile lengths,
 // garbage payloads, mid-frame disconnects), the EADDRINUSE bind retry — and
@@ -16,8 +20,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <random>
@@ -31,6 +37,8 @@
 #include "core/status.hpp"
 #include "core/telemetry/metrics.hpp"
 #include "core/telemetry/net_io.hpp"
+#include "core/telemetry/trace.hpp"
+#include "core/telemetry/tracez.hpp"
 #include "features/dataset.hpp"
 #include "rcnet/generate.hpp"
 #include "serve/client.hpp"
@@ -50,6 +58,41 @@ using Clock = std::chrono::steady_clock;
 struct InjectorGuard {
   ~InjectorGuard() { FaultInjector::global().disarm(); }
 };
+
+/// Enables request head sampling at the given rate for the test's scope and
+/// restores the recorder to its defaults (disabled, default config, empty
+/// rings) plus a clean RequestTraceStore on exit, so tracing state never
+/// leaks into later tests even when assertions fail.
+struct TraceGuard {
+  explicit TraceGuard(double head_rate) {
+    telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::global();
+    telemetry::TraceConfig cfg;
+    // Effectively-unbounded overhead budget: these tests exercise the stage
+    // clocks, not the controller, so adapt() must never scale the head rate.
+    cfg.overhead_budget_pct = 1e9;
+    cfg.head_sample_rate = head_rate;
+    recorder.clear();
+    recorder.configure(cfg);
+    recorder.enable();
+    telemetry::RequestTraceStore::global().clear();
+  }
+  ~TraceGuard() {
+    telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::global();
+    recorder.disable();
+    recorder.configure(telemetry::TraceConfig{});
+    recorder.clear();
+    telemetry::RequestTraceStore::global().clear();
+  }
+};
+
+/// Current value of a named counter in the global registry (0 if absent).
+std::uint64_t global_counter(std::string_view name) {
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  for (const telemetry::MetricsSnapshot::CounterValue& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
 
 bool wait_until(const std::function<bool()>& pred, int timeout_ms) {
   const Clock::time_point deadline =
@@ -352,6 +395,122 @@ TEST(ServeProtocol, EveryStrictTruncationIsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol v2: the optional trace-context block and v1 compatibility.
+// Payload offsets: magic u32 | version u8 (4) | type u8 (5) | flags u16 (6)
+// | request_id u64 | attempt u32 | [trace: u64 id | u64 span | u8 sampled
+// at offset 36].
+
+TEST(ServeProtocol, TraceContextRoundTrip) {
+  const EvalData& eval = shared_eval();
+  serve::RequestFrame in;
+  in.request_id = 0x1122334455667788ull;
+  in.attempt = 2;
+  in.trace.trace_id = 0xABCDEF0123456789ull;
+  in.trace.span_id = 0x42;
+  in.trace.sampled = true;
+  in.net = eval.nets[1];
+  in.context = eval.contexts[1];
+
+  const std::string payload = serve::encode_request(in).substr(4);
+  // The v2 header announces the block: version byte 2, flags bit 0 set.
+  EXPECT_EQ(static_cast<unsigned char>(payload[4]), serve::kVersion);
+  EXPECT_EQ(static_cast<unsigned char>(payload[6]) & serve::kFlagTraceContext,
+            serve::kFlagTraceContext);
+
+  serve::RequestFrame out;
+  ASSERT_TRUE(serve::decode_request(payload, &out).ok());
+  EXPECT_EQ(out.trace.trace_id, in.trace.trace_id);
+  EXPECT_EQ(out.trace.span_id, in.trace.span_id);
+  EXPECT_TRUE(out.trace.sampled);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.net.name, in.net.name);
+
+  // A valid-but-unsampled context survives too (sampled byte 0).
+  in.trace.sampled = false;
+  serve::RequestFrame out2;
+  ASSERT_TRUE(
+      serve::decode_request(
+          std::string_view(serve::encode_request(in)).substr(4), &out2)
+          .ok());
+  EXPECT_EQ(out2.trace.trace_id, in.trace.trace_id);
+  EXPECT_FALSE(out2.trace.sampled);
+
+  // An untraced request encodes with no block and no flag — v1-shaped bytes.
+  serve::RequestFrame untraced = in;
+  untraced.trace = telemetry::TraceContext{};
+  const std::string plain = serve::encode_request(untraced).substr(4);
+  EXPECT_EQ(static_cast<unsigned char>(plain[6]), 0u);
+  EXPECT_EQ(plain.size() + 17, payload.size());
+}
+
+TEST(ServeProtocol, V1FrameDecodesWithTracingAbsent) {
+  // An untraced v2 frame differs from a v1 frame only in the version byte;
+  // patching it down must still decode — tracing is simply absent.
+  std::string payload = make_request_bytes(123, 2).substr(4);
+  payload[4] = '\x01';
+  serve::RequestFrame out;
+  ASSERT_TRUE(serve::decode_request(payload, &out).ok());
+  EXPECT_EQ(out.request_id, 123u);
+  EXPECT_FALSE(out.trace.valid());
+  EXPECT_FALSE(out.trace.sampled);
+
+  // v1 predates the flags field (the bytes were "reserved"): nonzero bits
+  // are ignored, not malformed, and never imply a trace block.
+  payload[6] = '\x03';
+  ASSERT_TRUE(serve::decode_request(payload, &out).ok());
+  EXPECT_FALSE(out.trace.valid());
+
+  // Below kMinVersion is a typed reject.
+  payload[4] = '\x00';
+  EXPECT_EQ(serve::decode_request(payload, &out).code(),
+            ErrorCode::kMalformedFrame);
+}
+
+TEST(ServeProtocol, TraceBlockTruncationAndGarbageAreMalformed) {
+  const EvalData& eval = shared_eval();
+  serve::RequestFrame in;
+  in.request_id = 9;
+  in.trace = {0x1111111111111111ull, 0x2222ull, true};
+  in.net = eval.nets[0];
+  in.context = eval.contexts[0];
+  const std::string payload = serve::encode_request(in).substr(4);
+
+  serve::RequestFrame out;
+  ASSERT_TRUE(serve::decode_request(payload, &out).ok());
+
+  // Every strict prefix of the traced payload fails typed — this sweeps
+  // every truncation point inside the 17-byte trace block along the way.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut)
+    EXPECT_EQ(
+        serve::decode_request(std::string_view(payload).substr(0, cut), &out)
+            .code(),
+        ErrorCode::kMalformedFrame)
+        << "prefix of " << cut << " bytes decoded";
+
+  // Garbage sampled byte (only 0/1 are defined).
+  std::string garbled = payload;
+  garbled[36] = '\x07';
+  EXPECT_EQ(serve::decode_request(garbled, &out).code(),
+            ErrorCode::kMalformedFrame);
+
+  // Unknown v2 flag bits are malformed, not silently ignored.
+  garbled = payload;
+  garbled[6] = '\x03';
+  EXPECT_EQ(serve::decode_request(garbled, &out).code(),
+            ErrorCode::kMalformedFrame);
+
+  // The trace block rides requests only; a response announcing one is
+  // malformed.
+  serve::ResponseFrame rin;
+  rin.request_id = 9;
+  std::string rpayload = serve::encode_response(rin).substr(4);
+  rpayload[6] = '\x01';
+  serve::ResponseFrame rout;
+  EXPECT_EQ(serve::decode_response(rpayload, &rout).code(),
+            ErrorCode::kMalformedFrame);
+}
+
+// ---------------------------------------------------------------------------
 // bind_listener: ephemeral ports and the EADDRINUSE retry.
 
 TEST(ServeBind, EphemeralPortIsResolved) {
@@ -423,6 +582,181 @@ TEST(NetServe, EndToEndBitwiseIdenticalToDirectBatch) {
   EXPECT_NE(text.find("gnntrans_net_served_total"), std::string::npos);
   EXPECT_NE(text.find("gnntrans_net_batch_size"), std::string::npos);
   EXPECT_NE(text.find("gnntrans_net_queue_depth"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing end to end: head-sampled requests get a complete stage
+// breakdown whose clock telescopes to the wall time, the p99 exemplar
+// resolves on /tracez, and tracing stays bitwise non-intrusive.
+
+TEST(NetServe, TracedRequestsBitwiseIdenticalWithFullStageBreakdown) {
+  const EvalData& eval = shared_eval();
+  TraceGuard tracing(/*head_rate=*/1.0);  // every request head-sampled
+
+  serve::NetServerConfig scfg;
+  scfg.flush_age_seconds = 1e-3;
+  serve::NetServer server(shared_estimator(), scfg);
+  server.start();
+
+  serve::NetClientConfig ccfg;
+  ccfg.port = server.port();
+  ccfg.client_id = 21;
+  serve::NetClient client(ccfg);
+  for (std::size_t i = 0; i < eval.items.size(); ++i) {
+    const serve::NetClient::Result result =
+        client.estimate(eval.nets[i], eval.contexts[i]);
+    ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+    EXPECT_NE(result.trace_id, 0u);  // rate-1.0 head sampling
+    // Tracing must be bitwise non-intrusive: the reference was computed by a
+    // direct, untraced estimate_batch call.
+    EXPECT_TRUE(paths_bitwise_equal(result.paths, eval.reference[i]))
+        << "net " << i << " differs under tracing";
+  }
+  server.stop();  // joins the delivery threads: every stage clock is closed
+
+  telemetry::RequestTraceStore& store = telemetry::RequestTraceStore::global();
+  EXPECT_EQ(store.recorded_count(), eval.items.size());
+  const std::vector<telemetry::RequestTrace> traces = store.snapshot();
+  ASSERT_EQ(traces.size(), eval.items.size());  // 32 requests fit 64 slots
+  for (const telemetry::RequestTrace& t : traces) {
+    EXPECT_NE(t.trace_id, 0u);
+    EXPECT_GE(t.batch_size, 1u);
+    EXPECT_STREQ(t.provenance, "model");
+    EXPECT_GT(t.wall_seconds, 0.0);
+    // Every stage is non-negative and bounded by the wall clock.
+    for (const double stage :
+         {t.queue_seconds, t.batch_wait_seconds, t.model_seconds,
+          t.serialize_seconds, t.write_seconds}) {
+      EXPECT_GE(stage, 0.0);
+      EXPECT_LE(stage, t.wall_seconds + 1e-4);
+    }
+    // The model shares sum into the model stage.
+    EXPECT_LE(t.featurize_seconds + t.forward_seconds + t.fallback_seconds,
+              t.model_seconds + 1e-6);
+    // The stage clock telescopes: adjacent boundaries share clock reads, so
+    // the sum tracks the wall within 5% (plus a floor for scheduler noise).
+    const double slack = std::max(0.05 * t.wall_seconds, 2e-4);
+    EXPECT_NEAR(t.stage_sum_seconds(), t.wall_seconds, slack)
+        << "trace 0x" << std::hex << t.trace_id;
+  }
+
+  // The request_seconds p99 exemplar resolves to a retained /tracez record
+  // (keep-max: it is the slowest request, which the store must have kept).
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  bool exemplar_checked = false;
+  for (const telemetry::MetricsSnapshot::HistogramValue& h : snap.histograms) {
+    if (h.name != "gnntrans_net_request_seconds") continue;
+    ASSERT_TRUE(h.has_exemplar);
+    EXPECT_NE(h.exemplar_trace_id, 0u);
+    telemetry::RequestTrace resolved;
+    EXPECT_TRUE(store.find(h.exemplar_trace_id, &resolved));
+    EXPECT_EQ(std::string(resolved.net), h.exemplar_label);
+    exemplar_checked = true;
+  }
+  EXPECT_TRUE(exemplar_checked);
+  // And it reaches the Prometheus exposition as an OpenMetrics-style suffix.
+  EXPECT_NE(telemetry::MetricsRegistry::global().prometheus_text().find(
+                "# {trace_id=\"0x"),
+            std::string::npos);
+}
+
+TEST(NetServe, FailureStatusCarriesTraceId) {
+  TraceGuard tracing(/*head_rate=*/1.0);
+  serve::NetServerConfig scfg;
+  scfg.flush_age_seconds = 0.05;  // 50 ms queue dwell >> 1 ms budget
+  serve::NetServer server(shared_estimator(), scfg);
+  server.start();
+
+  serve::NetClientConfig ccfg;
+  ccfg.port = server.port();
+  ccfg.max_retries = 0;
+  serve::NetClient client(ccfg);
+  const serve::NetClient::Result result = client.estimate(
+      shared_eval().nets[0], shared_eval().contexts[0], /*deadline_us=*/1000);
+  server.stop();
+
+  EXPECT_EQ(result.status.code(), ErrorCode::kDeadlineExceeded);
+  ASSERT_NE(result.trace_id, 0u);
+  // The typed failure carries the trace handle for /tracez correlation.
+  char expect[32];
+  std::snprintf(expect, sizeof(expect), "[trace_id=0x%016llx]",
+                static_cast<unsigned long long>(result.trace_id));
+  EXPECT_NE(result.status.to_string().find(expect), std::string::npos)
+      << result.status.to_string();
+}
+
+TEST(NetServe, ClientRetryCountersTrackInjectedFaults) {
+  const EvalData& eval = shared_eval();
+  InjectorGuard guard;
+  FaultInjector& injector = FaultInjector::global();
+  FaultInjector::Config fcfg;
+  fcfg.seed = 777;
+  fcfg.probability = 0.2;
+  fcfg.site_mask = core::kNetworkSiteMask;
+  injector.configure(fcfg);
+
+  serve::NetServerConfig scfg;
+  scfg.flush_age_seconds = 1e-3;
+  serve::NetServer server(shared_estimator(), scfg);
+  server.start();
+
+  const std::uint64_t retries0 = global_counter("gnntrans_client_retries_total");
+  const std::uint64_t transport0 =
+      global_counter("gnntrans_client_retries_transport_total");
+  const std::uint64_t overload0 =
+      global_counter("gnntrans_client_retries_overload_total");
+  const std::uint64_t malformed0 =
+      global_counter("gnntrans_client_retries_malformed_total");
+  const std::uint64_t reconnects0 =
+      global_counter("gnntrans_client_reconnects_total");
+  const std::uint64_t backoff0 =
+      global_counter("gnntrans_client_backoff_ms_total");
+
+  serve::NetClientConfig ccfg;
+  ccfg.port = server.port();
+  ccfg.client_id = 31;
+  ccfg.max_retries = 6;
+  ccfg.backoff_initial_ms = 1;
+  ccfg.backoff_max_ms = 4;
+  serve::NetClient client(ccfg);
+  std::size_t served = 0;
+  std::uint64_t transport_failures = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const serve::NetClient::Result result =
+        client.estimate(eval.nets[i % eval.nets.size()],
+                        eval.contexts[i % eval.contexts.size()]);
+    if (result.served()) ++served;
+    transport_failures += result.transport_failures;
+  }
+  server.stop();
+  injector.disarm();
+
+  EXPECT_GT(served, 0u);
+  ASSERT_GT(transport_failures, 0u);  // 20% fault odds over 64 requests
+
+  const std::uint64_t retries =
+      global_counter("gnntrans_client_retries_total") - retries0;
+  const std::uint64_t transport =
+      global_counter("gnntrans_client_retries_transport_total") - transport0;
+  const std::uint64_t overload =
+      global_counter("gnntrans_client_retries_overload_total") - overload0;
+  const std::uint64_t malformed =
+      global_counter("gnntrans_client_retries_malformed_total") - malformed0;
+  const std::uint64_t reconnects =
+      global_counter("gnntrans_client_reconnects_total") - reconnects0;
+  const std::uint64_t backoff =
+      global_counter("gnntrans_client_backoff_ms_total") - backoff0;
+
+  // Every retry is classified by the failure that caused it — the by-reason
+  // counters partition the total exactly.
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(transport, 0u);
+  EXPECT_EQ(retries, transport + overload + malformed);
+  // Connection-killing faults force reconnects, and every retry slept at
+  // least backoff_initial_ms (1 ms) before resending.
+  EXPECT_GT(reconnects, 0u);
+  EXPECT_GE(backoff, retries);
 }
 
 // ---------------------------------------------------------------------------
@@ -645,6 +979,10 @@ TEST(NetServe, GracefulDrainServesQueuedAndRejectsNew) {
 TEST(NetServeSoak, SurvivesInjectedNetworkFaults) {
   const EvalData& eval = shared_eval();
   InjectorGuard guard;
+  // Default-rate head sampling stays on for the whole soak: the bitwise
+  // checks below double as proof that tracing is non-intrusive under faults,
+  // retries and concurrency.
+  TraceGuard tracing(/*head_rate=*/1.0 / 64.0);
   FaultInjector& injector = FaultInjector::global();
   FaultInjector::Config fcfg;
   fcfg.seed = 20260807;
@@ -770,6 +1108,23 @@ TEST(NetServeSoak, SurvivesInjectedNetworkFaults) {
             faults_accept + faults_read + faults_write);
   // Every attempt either produced a frame or died at an injected accept.
   EXPECT_EQ(total.attempts, ledger.frames.load() + faults_accept);
+
+  // Head sampling at 1/64 over 10k requests: a healthy population of stage
+  // breakdowns was retained, and every one of them — assembled under faults,
+  // retries and 8-way concurrency — satisfies the stage-clock invariants.
+  telemetry::RequestTraceStore& store = telemetry::RequestTraceStore::global();
+  EXPECT_GT(store.recorded_count(), 0u);
+  for (const telemetry::RequestTrace& t : store.snapshot()) {
+    EXPECT_NE(t.trace_id, 0u);
+    EXPECT_GT(t.wall_seconds, 0.0);
+    for (const double stage :
+         {t.queue_seconds, t.batch_wait_seconds, t.model_seconds,
+          t.serialize_seconds, t.write_seconds})
+      EXPECT_GE(stage, 0.0);
+    const double slack = std::max(0.05 * t.wall_seconds, 2e-4);
+    EXPECT_NEAR(t.stage_sum_seconds(), t.wall_seconds, slack)
+        << "trace 0x" << std::hex << t.trace_id;
+  }
 }
 
 }  // namespace

@@ -432,6 +432,57 @@ TEST(MetricsRegistry, JsonExportGoldenAndWellFormed) {
   EXPECT_TRUE(JsonChecker(json).valid());
 }
 
+TEST(MetricsRegistry, HistogramExemplarKeepsMaxAndExports) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("lat_seconds", {1.0, 2.0}, "Latency");
+  h.observe(0.5);
+  h.observe(1.5);
+  h.annotate_exemplar(0.5, 0x1111, "small_net");
+  h.annotate_exemplar(1.5, 0x2222, "big_net");
+  h.annotate_exemplar(0.7, 0x3333, "mid_net");  // smaller: kept out (keep-max)
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const MetricsSnapshot::HistogramValue& hv = snap.histograms[0];
+  ASSERT_TRUE(hv.has_exemplar);
+  EXPECT_DOUBLE_EQ(hv.exemplar_value, 1.5);
+  EXPECT_EQ(hv.exemplar_trace_id, 0x2222u);
+  EXPECT_EQ(hv.exemplar_label, "big_net");
+  // Exemplars annotate, never observe: the distribution is untouched.
+  EXPECT_EQ(hv.data.count(), 2u);
+
+  // Prometheus: the exemplar rides the first bucket whose bound covers it.
+  const std::string text = snap.to_prometheus();
+  EXPECT_NE(
+      text.find("lat_seconds_bucket{le=\"2\"} 2 "
+                "# {trace_id=\"0x0000000000002222\",net=\"big_net\"} 1.5"),
+      std::string::npos)
+      << text;
+  // The JSON export carries it too and stays parseable.
+  const std::string json = snap.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"exemplar\""), std::string::npos);
+  EXPECT_NE(json.find("0x0000000000002222"), std::string::npos);
+
+  // reset() clears the exemplar along with the buckets.
+  registry.reset();
+  const MetricsSnapshot after = registry.snapshot();
+  ASSERT_EQ(after.histograms.size(), 1u);
+  EXPECT_FALSE(after.histograms[0].has_exemplar);
+}
+
+TEST(MetricsRegistry, ExemplarAboveAllBoundsRidesInfBucket) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("over_seconds", {1.0});
+  h.observe(9.0);
+  h.annotate_exemplar(9.0, 0xBEEF, "tail_net");
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("over_seconds_bucket{le=\"+Inf\"} 1 "
+                      "# {trace_id=\"0x000000000000beef\""),
+            std::string::npos)
+      << text;
+}
+
 TEST(MetricsRegistry, ExportSanitizesBadPrometheusNames) {
   MetricsRegistry registry;
   Counter c = registry.counter("bad name-with.dots");
@@ -608,6 +659,84 @@ TEST(Trace, ParallelSpansFromPoolWorkersAllLand) {
   EXPECT_TRUE(JsonChecker(json).valid());
   EXPECT_EQ(count_occurrences(json, "\"name\":\"pool_task\""), kTasks);
   recorder.clear();
+}
+
+TEST(Trace, HeadSamplingIsDeterministicPureHash) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  TraceConfig cfg;
+  cfg.head_sample_rate = 1.0;
+  cfg.overhead_budget_pct = 100.0;
+  recorder.configure(cfg);
+  recorder.enable();
+
+  const TraceContext a = recorder.head_sample(4711);
+  const TraceContext b = recorder.head_sample(4711);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a.sampled);
+  EXPECT_NE(a.span_id, 0u);
+  // A retry of the same request keeps its trace identity.
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  // Distinct requests land on distinct traces.
+  EXPECT_NE(recorder.head_sample(4712).trace_id, a.trace_id);
+
+  // The trace_id is rate-independent (pure hash of seed and request_id);
+  // only the sampling bit follows the rate.
+  cfg.head_sample_rate = 0.0;
+  recorder.configure(cfg);
+  const TraceContext unsampled = recorder.head_sample(4711);
+  EXPECT_EQ(unsampled.trace_id, a.trace_id);
+  EXPECT_FALSE(unsampled.sampled);
+
+  // A different seed relabels the population.
+  cfg.head_sample_rate = 1.0;
+  cfg.head_seed = 0xABCD;
+  recorder.configure(cfg);
+  EXPECT_NE(recorder.head_sample(4711).trace_id, a.trace_id);
+
+  // Disabled recorder: no identity at all.
+  recorder.disable();
+  EXPECT_FALSE(recorder.head_sample(4711).valid());
+  recorder.configure(TraceConfig{});
+}
+
+TEST(Trace, ParentedSpanBypassesSpanSamplerForSampledRequests) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  TraceConfig cfg;
+  cfg.sample_every = 1u << 20;  // plain spans effectively never sample
+  cfg.overhead_budget_pct = 100.0;
+  recorder.configure(cfg);
+  recorder.enable();
+
+  TraceContext parent;
+  parent.trace_id = 0xFEEDFACE;
+  parent.span_id = 1;
+  parent.sampled = true;
+  {
+    // A head-sampled request's stage span records regardless of the 1-in-N
+    // span sampler — a sampled request always gets its full breakdown.
+    const TraceSpan span("stage_x", "request", parent);
+    EXPECT_TRUE(span.active());
+  }
+  TraceContext unsampled = parent;
+  unsampled.sampled = false;
+  {
+    const TraceSpan span("stage_skipped", "request", unsampled);
+    EXPECT_FALSE(span.active());
+  }
+  recorder.disable();
+
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"name\":\"stage_x\""), std::string::npos);
+  // The span is tagged with the trace_id as its flow id, so chrome's flow
+  // arrows bind it into the request lane.
+  EXPECT_NE(json.find("\"id\":\"0xfeedface\""), std::string::npos);
+  EXPECT_EQ(json.find("stage_skipped"), std::string::npos);
+  recorder.clear();
+  recorder.configure(TraceConfig{});
 }
 
 }  // namespace

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace JSON file emitted by TraceRecorder.
+
+The trace viewer is forgiving — a malformed flow event silently renders as
+nothing, which is exactly how a broken request lane would go unnoticed. This
+checker enforces the invariants the request-tracing pipeline promises:
+
+  1. The document is ``{"traceEvents": [...]}`` and every event carries the
+     required fields for its phase (``name``, ``ph``, ``ts``, ``pid``,
+     ``tid``; ``dur`` for ``X``; ``id`` for flow/async phases).
+  2. Durations and timestamps are non-negative, and each flow chain's
+     timestamps are monotone non-decreasing in document order (the recorder
+     stamps them from one monotonic clock).
+  3. Flow chains pair up: every ``s`` (start) has exactly one matching ``f``
+     (end, with ``bp":"e"``) on the same id, with only ``t`` steps between;
+     an ``f`` or ``t`` without a prior ``s`` is an error.
+  4. Async lanes pair up: ``b``/``e`` events nest per (id, name) and close.
+  5. Flow ids are unique per chain: once a chain closes with ``f``, its id
+     must not restart (ids are trace_ids; a reused one would merge two
+     requests into one arrow).
+
+Run standalone (``python3 tools/check_trace_events.py TRACE.json``) or as a
+self-test on embedded good/bad fixtures (``--self-test``, wired as the
+``trace_event_lint`` ctest). Exits non-zero listing every violation.
+"""
+
+import json
+import pathlib
+import sys
+
+REQUIRED = ("name", "ph", "ts", "pid", "tid")
+FLOW_PHASES = ("s", "t", "f")
+ASYNC_PHASES = ("b", "e")
+
+
+def check_events(events):
+    errors = []
+    # Per-flow-id chain state: None = never seen, "open" = s seen, "closed"
+    # = f seen. Timestamps per open chain for monotonicity.
+    flow_state = {}
+    flow_last_ts = {}
+    # Async nesting depth per (id, name).
+    async_depth = {}
+
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        missing = [k for k in REQUIRED if k not in ev]
+        if missing:
+            errors.append(f"{where} (ph={ph!r}): missing fields {missing}")
+            continue
+        where = f"event {i} ({ev['name']!r}, ph={ph})"
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs dur >= 0, got {dur!r}")
+        elif ph in FLOW_PHASES:
+            flow_id = ev.get("id")
+            if flow_id is None:
+                errors.append(f"{where}: flow event without id")
+                continue
+            state = flow_state.get(flow_id)
+            if ph == "s":
+                if state == "open":
+                    errors.append(f"{where}: flow id {flow_id} started twice")
+                elif state == "closed":
+                    errors.append(
+                        f"{where}: flow id {flow_id} reused after its end "
+                        "(ids must be unique per chain)"
+                    )
+                flow_state[flow_id] = "open"
+                flow_last_ts[flow_id] = ts
+                continue
+            if state != "open":
+                errors.append(
+                    f"{where}: flow {ph!r} on id {flow_id} without an open 's'"
+                )
+                continue
+            if ts < flow_last_ts[flow_id]:
+                errors.append(
+                    f"{where}: flow id {flow_id} ts {ts} went backwards "
+                    f"(chain was at {flow_last_ts[flow_id]})"
+                )
+            flow_last_ts[flow_id] = ts
+            if ph == "f":
+                if ev.get("bp") != "e":
+                    errors.append(
+                        f"{where}: flow end must carry bp=\"e\" to bind to the "
+                        "enclosing slice"
+                    )
+                flow_state[flow_id] = "closed"
+        elif ph in ASYNC_PHASES:
+            async_id = ev.get("id")
+            if async_id is None:
+                errors.append(f"{where}: async event without id")
+                continue
+            key = (async_id, ev["name"])
+            depth = async_depth.get(key, 0)
+            if ph == "b":
+                async_depth[key] = depth + 1
+            else:
+                if depth == 0:
+                    errors.append(
+                        f"{where}: async 'e' on id {async_id} without a "
+                        "matching 'b'"
+                    )
+                else:
+                    async_depth[key] = depth - 1
+        # Other phases (M metadata, counters, ...) are accepted untouched.
+
+    for flow_id, state in sorted(flow_state.items(), key=lambda kv: str(kv[0])):
+        if state == "open":
+            errors.append(f"flow id {flow_id}: started ('s') but never ended ('f')")
+    for (async_id, name), depth in sorted(
+        async_depth.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])
+    ):
+        if depth != 0:
+            errors.append(
+                f"async lane id={async_id} name={name!r}: {depth} unclosed 'b'"
+            )
+    return errors
+
+
+def check_file(path: pathlib.Path):
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        return [f"{path}: document has no traceEvents array"]
+    return check_events(events)
+
+
+# --- Self-test fixtures -----------------------------------------------------
+
+def _ev(ph, name="n", ts=0, **extra):
+    ev = {"name": name, "ph": ph, "ts": ts, "pid": 1, "tid": 1}
+    ev.update(extra)
+    return ev
+
+
+GOOD = [
+    _ev("X", "net_model", 10, dur=5, id="0x2a"),
+    _ev("s", "client_send", 0, id="0x2a"),
+    _ev("t", "server_admit", 3, id="0x2a"),
+    _ev("t", "batch_model", 9, id="0x2a"),
+    _ev("f", "client_done", 20, id="0x2a", bp="e"),
+    _ev("b", "request", 0, id="0x2a"),
+    _ev("e", "request", 20, id="0x2a"),
+    _ev("X", "untraced_span", 4, dur=2),
+]
+
+BAD_CASES = [
+    ("flow end without start", [_ev("f", ts=1, id="0x1", bp="e")]),
+    ("flow start without end", [_ev("s", ts=1, id="0x1")]),
+    ("flow id reused after close",
+     [_ev("s", ts=0, id="0x1"), _ev("f", ts=1, id="0x1", bp="e"),
+      _ev("s", ts=2, id="0x1")]),
+    ("flow timestamps backwards",
+     [_ev("s", ts=5, id="0x1"), _ev("f", ts=2, id="0x1", bp="e")]),
+    ("flow end missing bp",
+     [_ev("s", ts=0, id="0x1"), _ev("f", ts=1, id="0x1")]),
+    ("negative duration", [_ev("X", ts=1, dur=-4)]),
+    ("async end without begin", [_ev("e", ts=1, id="0x1")]),
+    ("async begin never closed", [_ev("b", ts=1, id="0x1")]),
+    ("missing required field", [{"ph": "X", "ts": 0, "pid": 1, "tid": 1}]),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    good_errors = check_events(json.loads(json.dumps(GOOD)))
+    if good_errors:
+        failures += 1
+        print("self-test: good fixture flagged:")
+        for e in good_errors:
+            print(f"  {e}")
+    for label, events in BAD_CASES:
+        if not check_events(json.loads(json.dumps(events))):
+            failures += 1
+            print(f"self-test: bad fixture not flagged: {label}")
+    if failures:
+        print(f"trace event lint self-test: {failures} failure(s)")
+        return 1
+    print(f"trace event lint self-test: OK ({len(BAD_CASES)} bad fixtures "
+          "flagged, good fixture clean)")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 2:
+        print("usage: check_trace_events.py <trace.json> | --self-test")
+        return 2
+    path = pathlib.Path(argv[1])
+    errors = check_file(path)
+    if errors:
+        print(f"{path}: {len(errors)} violation(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"{path}: trace events OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

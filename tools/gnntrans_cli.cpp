@@ -90,9 +90,14 @@
 //                       the overhead controller may raise the effective N
 //   --trace-budget P    tracing overhead budget as a percent of serving wall
 //                       time (default 2); the sampler backs off to stay under
+//   --trace-rate R      request head-sampling rate in [0,1] (default 1/64):
+//                       fraction of serve requests that get a full stage-
+//                       clock trace, /tracez retention, and flow events
+//   --trace-seed N      head-sampling hash seed (varies which requests are
+//                       picked without changing the rate)
 //   --obs-port P        serve GET /metrics /metrics.json /healthz /readyz
-//                       /buildinfo /flight /quality on P while the command
-//                       runs (0 = ephemeral; the bound port is logged)
+//                       /buildinfo /flight /quality /tracez on P while the
+//                       command runs (0 = ephemeral; the bound port is logged)
 //   --obs-addr A        bind address for --obs-port (default 127.0.0.1)
 //   --flight-out FILE   write the flight-recorder JSON on exit; also installs
 //                       a fatal-signal handler that dumps the black box
@@ -803,14 +808,16 @@ void usage() {
       "<generate|design|libgen|train|eval|predict|sta|serve|eco> "
       "[--flag value ...]; telemetry flags (any command): --log-level "
       "<trace|debug|info|warn|error|off> --log-json FILE --metrics-out FILE "
-      "--trace-out FILE --obs-port P --flight-out FILE --stats-interval S "
+      "--trace-out FILE --trace-rate R --trace-seed N --obs-port P "
+      "--flight-out FILE --stats-interval S "
       "(see the header comment of tools/gnntrans_cli.cpp for per-command "
       "flags)");
 }
 
 /// Applies --log-level / --log-json / --trace-out / --trace-sample /
-/// --trace-budget / --flight-out before command dispatch. Exits 1 on an
-/// unknown level name, 2 on an unwritable log file.
+/// --trace-budget / --trace-rate / --trace-seed / --flight-out before
+/// command dispatch. Exits 1 on an unknown level name, 2 on an unwritable
+/// log file.
 void setup_telemetry(const Args& args) {
   if (const auto level_name = args.get("log-level")) {
     bool ok = false;
@@ -834,6 +841,13 @@ void setup_telemetry(const Args& args) {
   trace_cfg.sample_every =
       static_cast<std::size_t>(std::max(1L, args.get_long("trace-sample", 1)));
   trace_cfg.overhead_budget_pct = args.get_double("trace-budget", 2.0);
+  // Head sampling for request tracing: --trace-rate is the fraction of
+  // requests that get a full stage-clock trace (clamped to [0,1]); the seed
+  // varies which requests are picked without changing the rate.
+  trace_cfg.head_sample_rate = std::clamp(
+      args.get_double("trace-rate", trace_cfg.head_sample_rate), 0.0, 1.0);
+  if (const long seed = args.get_long("trace-seed", 0); seed != 0)
+    trace_cfg.head_seed = static_cast<std::uint64_t>(seed);
   telemetry::TraceRecorder::global().configure(trace_cfg);
   if (args.get("trace-out")) telemetry::TraceRecorder::global().enable();
   if (const auto flight_path = args.get("flight-out"))
