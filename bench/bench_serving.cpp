@@ -31,6 +31,7 @@
 
 #include "cell/library.hpp"
 #include "core/autoscaler.hpp"
+#include "core/estimate_cache.hpp"
 #include "core/estimator.hpp"
 #include "core/fault_injector.hpp"
 #include "core/thread_pool.hpp"
@@ -127,6 +128,22 @@ struct BenchSummary {
   double pinned_best_nets_per_second = 0.0;
   double pinned_best_worker_seconds = 0.0;
   std::size_t pinned_best_threads = 1;
+  // Content-addressed estimate cache: repeat-traffic sweep at T=1. Each row
+  // replays a stream whose repeat fraction is fixed by construction (every
+  // distinct net requested r times → (r-1)/r repeats); speedup is the
+  // uncached steady-state per-net cost over the cached stream's per-net cost.
+  struct CacheRateRow {
+    double repeat_pct = 0.0;    ///< repeat fraction of the request stream
+    double hit_rate_pct = 0.0;  ///< measured cache hit rate over the stream
+    double nets_per_second = 0.0;
+    double per_net_us = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<CacheRateRow> cache_rows;
+  double cache_uncached_nets_per_second = 0.0;
+  double cache_speedup_95_repeat = 0.0;
+  double cache_speedup_target = 5.0;      ///< acceptance bound at 95% repeat
+  bool cache_speedup_target_met = false;
   // Network front-end: many-client open-loop sweep over the socket path.
   std::size_t net_clients = 0;
   std::vector<NetRateRow> net_rows;
@@ -182,6 +199,26 @@ void write_summary_json(const std::string& path, const BenchSummary& s) {
   num("pinned_best_nets_per_second", s.pinned_best_nets_per_second, 1);
   num("pinned_best_worker_seconds", s.pinned_best_worker_seconds, 4);
   count("pinned_best_threads", s.pinned_best_threads);
+  json << "  \"cache\": {\n"
+       << "    \"uncached_nets_per_second\": " << std::setprecision(1)
+       << s.cache_uncached_nets_per_second << ",\n"
+       << "    \"speedup_95_repeat\": " << std::setprecision(2)
+       << s.cache_speedup_95_repeat << ",\n"
+       << "    \"speedup_target\": " << std::setprecision(1)
+       << s.cache_speedup_target << ",\n"
+       << "    \"speedup_target_met\": "
+       << (s.cache_speedup_target_met ? "true" : "false") << ",\n"
+       << "    \"rows\": [\n";
+  for (std::size_t i = 0; i < s.cache_rows.size(); ++i) {
+    const BenchSummary::CacheRateRow& r = s.cache_rows[i];
+    json << "      {\"repeat_pct\": " << std::setprecision(1) << r.repeat_pct
+         << ", \"hit_rate_pct\": " << r.hit_rate_pct
+         << ", \"nets_per_second\": " << r.nets_per_second
+         << ", \"per_net_us\": " << std::setprecision(2) << r.per_net_us
+         << ", \"speedup\": " << r.speedup << "}"
+         << (i + 1 < s.cache_rows.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n";
   json << "  \"serving_net\": {\n"
        << "    \"clients\": " << s.net_clients << ",\n"
        << "    \"knee_offered_rps\": " << std::setprecision(1)
@@ -300,6 +337,75 @@ int main(int argc, char** argv) {
          bench::TablePrinter::fmt(
              static_cast<double>(stats.arena_peak_bytes) / 1024.0, 1)});
     std::printf("  T=%zu summary: %s\n", threads, stats.summary().c_str());
+  }
+
+  // Content-addressed estimate cache: repeat-traffic sweep. A stream where
+  // every distinct (net, context) is requested r times has a repeat fraction
+  // of (r-1)/r by construction — r=1 is all-cold (pure miss/insert overhead),
+  // r=2 is 50% repeats, r=20 is the 95%-repeat regime of an ECO loop
+  // re-timing a design after small edits. The acceptance bound: at 95%
+  // repeats the cached stream's per-net cost must beat the uncached
+  // steady-state by >= 5x (hits skip featurize + forward entirely).
+  std::printf("\n=== Estimate cache: repeat-traffic sweep, T=1 ===\n\n");
+  {
+    core::BatchOptions options;
+    options.threads = 1;
+    std::vector<nn::Workspace> workspaces;
+    options.workspaces = &workspaces;
+    constexpr std::size_t kSubset = 128;
+    const std::span<const core::NetBatchItem> subset(set.items.data(), kSubset);
+
+    // Uncached steady state (arenas warm): the denominator of every speedup.
+    core::InferenceStats warm;
+    (void)estimator.estimate_batch(subset, options, &warm);
+    const auto u0 = Clock::now();
+    (void)estimator.estimate_batch(subset, options, &warm);
+    const double uncached_secs =
+        std::chrono::duration<double>(Clock::now() - u0).count();
+    const double uncached_per_net =
+        uncached_secs / static_cast<double>(kSubset);
+    summary.cache_uncached_nets_per_second =
+        static_cast<double>(kSubset) / uncached_secs;
+
+    bench::TablePrinter cache_table(
+        {"repeats", "hit rate", "nets/s", "per-net(us)", "speedup"},
+        {8, 9, 10, 12, 8});
+    cache_table.print_header();
+    for (const std::size_t repeats : {1u, 2u, 20u}) {
+      core::EstimateCache cache;  // fresh per row: hit rate is by construction
+      options.cache = &cache;
+      core::InferenceStats stats;
+      const auto t0 = Clock::now();
+      for (std::size_t pass = 0; pass < repeats; ++pass)
+        (void)estimator.estimate_batch(subset, options, &stats);
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const double nets = static_cast<double>(kSubset * repeats);
+
+      BenchSummary::CacheRateRow row;
+      row.repeat_pct = 100.0 * static_cast<double>(repeats - 1) /
+                       static_cast<double>(repeats);
+      row.hit_rate_pct = 100.0 * cache.stats().hit_rate();
+      row.nets_per_second = nets / secs;
+      row.per_net_us = secs / nets * 1e6;
+      row.speedup = uncached_per_net / (secs / nets);
+      summary.cache_rows.push_back(row);
+      if (repeats == 20) summary.cache_speedup_95_repeat = row.speedup;
+      cache_table.print_row(
+          {std::to_string(repeats),
+           bench::TablePrinter::fmt(row.hit_rate_pct, 1) + "%",
+           bench::TablePrinter::fmt(row.nets_per_second, 0),
+           bench::TablePrinter::fmt(row.per_net_us, 1),
+           bench::TablePrinter::fmt(row.speedup, 2) + "x"});
+    }
+    options.cache = nullptr;
+    summary.cache_speedup_target_met =
+        summary.cache_speedup_95_repeat >= summary.cache_speedup_target;
+    std::printf("\n95%%-repeat per-net speedup %.2fx vs %.1fx target: %s "
+                "(uncached steady state %.0f nets/s)\n",
+                summary.cache_speedup_95_repeat, summary.cache_speedup_target,
+                summary.cache_speedup_target_met ? "MET" : "MISSED",
+                summary.cache_uncached_nets_per_second);
   }
 
   // Telemetry overhead: metrics publication is unconditional, so the contrast

@@ -1,0 +1,131 @@
+/// \file estimate_cache.hpp
+/// Content-addressed estimate cache (ROADMAP "scale-out" item, in-process
+/// half): a sharded memo map from (RC content, timing context) to the model's
+/// PathEstimates.
+///
+/// Keying is *content addressing*: the 128-bit key is a pure function of the
+/// net's parasitics (RcNet::validate()'s content hash — topology plus every
+/// element value by raw double bit pattern) and the full timing context
+/// (features::content_hash — input slew, driver resistance/strength/function,
+/// every SinkLoad). Nothing is keyed by name, so two identical nets share an
+/// entry, and any edit — an ECO reroute, a resized driver, a one-ULP slew
+/// change — lands on a new key. Invalidation is free: stale entries are
+/// simply never addressed again and age out under eviction.
+///
+/// A hit returns the stored estimates bitwise-identical to recomputation
+/// (they *are* the recomputation's bytes), re-tagged EstimateProvenance::
+/// kCached. Only model-served results are cached; fallback and failed nets
+/// always re-run the ladder.
+///
+/// Concurrency: entries hash-partition across cache-line-padded shards, each
+/// with its own mutex, so concurrent lookups from a thread pool contend only
+/// within a shard. Capacity is byte-bounded per shard; over budget the shard
+/// evicts by CLOCK second-chance (a ref bit set on hit buys one sweep of
+/// grace). gnntrans_cache_* metrics and a flight-recorder event on eviction
+/// pressure make the cache's behavior observable in production.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/estimator.hpp"
+
+namespace gnntrans::core {
+
+/// 128-bit content key: the finalized net-content and context hashes side by
+/// side. Distinct inputs collide only if *both* 64-bit halves collide.
+struct CacheKey {
+  std::uint64_t net = 0;  ///< RcNet::validate() content hash
+  std::uint64_t ctx = 0;  ///< features::content_hash(NetContext)
+
+  [[nodiscard]] bool operator==(const CacheKey& other) const noexcept {
+    return net == other.net && ctx == other.ctx;
+  }
+};
+
+struct EstimateCacheConfig {
+  /// Total byte budget across all shards (approximate resident size of the
+  /// stored estimates plus per-entry bookkeeping).
+  std::size_t capacity_bytes = 64ull << 20;  // 64 MiB
+  /// Shard count; rounded up to a power of two, at least 1.
+  std::size_t shards = 16;
+};
+
+/// Cumulative counters plus a point-in-time residency snapshot.
+struct EstimateCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserted_bytes = 0;  ///< cumulative bytes ever inserted
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class EstimateCache {
+ public:
+  explicit EstimateCache(EstimateCacheConfig config = {});
+  ~EstimateCache();
+  EstimateCache(const EstimateCache&) = delete;
+  EstimateCache& operator=(const EstimateCache&) = delete;
+
+  /// Combines the two finalized content hashes into a key.
+  [[nodiscard]] static CacheKey make_key(std::uint64_t net_content_hash,
+                                         std::uint64_t context_hash) noexcept {
+    return CacheKey{net_content_hash, context_hash};
+  }
+
+  /// On hit, overwrites \p out with the stored estimates (provenance already
+  /// kCached) and refreshes the entry's second-chance bit. \p out is
+  /// untouched on miss.
+  [[nodiscard]] bool lookup(const CacheKey& key,
+                            std::vector<PathEstimate>* out);
+
+  /// Stores a copy of \p paths re-tagged kCached, evicting CLOCK victims
+  /// first if the shard is over its byte budget. An entry larger than one
+  /// whole shard's budget is dropped rather than thrashing the shard empty.
+  /// Racing inserts of the same key keep the first copy (identical bytes by
+  /// construction — the key is the content).
+  void insert(const CacheKey& key, const std::vector<PathEstimate>& paths);
+
+  /// Aggregated over all shards. Counters are exact; residency is a
+  /// consistent-per-shard snapshot.
+  [[nodiscard]] EstimateCacheStats stats() const;
+
+  /// Drops every entry (counters are kept — they are cumulative).
+  void clear();
+
+  [[nodiscard]] const EstimateCacheConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_mask_ + 1;
+  }
+  /// Shard a key routes to (exposed so tests can hammer one shard).
+  [[nodiscard]] std::size_t shard_index(const CacheKey& key) const noexcept;
+
+ private:
+  struct Shard;
+
+  EstimateCacheConfig config_;
+  std::size_t shard_mask_ = 0;    ///< shard_count - 1 (power of two)
+  std::size_t shard_budget_ = 0;  ///< capacity_bytes / shard_count
+  std::unique_ptr<Shard[]> shards_;
+
+  // Cumulative counters (relaxed; exact because every op increments once).
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> inserted_bytes_{0};
+};
+
+}  // namespace gnntrans::core

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/estimate_cache.hpp"
 #include "core/fault_injector.hpp"
 #include "core/telemetry/telemetry.hpp"
 #include "nn/guard.hpp"
@@ -187,6 +188,7 @@ void InferenceStats::merge(const InferenceStats& other) {
   model_nets += other.model_nets;
   fallback_nets += other.fallback_nets;
   failed_nets += other.failed_nets;
+  cached_nets += other.cached_nets;
   slow_nets += other.slow_nets;
   slew_clamped += other.slew_clamped;
   for (std::size_t c = 0; c < kErrorCodeCount; ++c)
@@ -226,6 +228,10 @@ std::string InferenceStats::summary() const {
       first = false;
     }
     if (!first) out += "]";
+  }
+  if (cached_nets > 0) {
+    std::snprintf(buf, sizeof(buf), "; %zu cached", cached_nets);
+    out += buf;
   }
   if (slew_clamped > 0) {
     std::snprintf(buf, sizeof(buf), "; %zu slew clamp%s", slew_clamped,
@@ -293,8 +299,10 @@ Expected<std::vector<PathEstimate>> WireTimingEstimator::run_model_path(
         throw std::runtime_error("injected featurization fault");
       rec.raw = features::extract_features(net, context);
     } catch (const std::invalid_argument& e) {
-      // Caller contract violation (e.g. context.loads misaligned), not a
-      // path-extraction fault.
+      // Caller contract violation, not a path-extraction fault. (The
+      // loads/sinks misalignment case is pre-gated by estimate_batch with a
+      // typed kInvalidArgument; this catch covers the single-net estimate()
+      // entry and any future preconditions extract_features grows.)
       if (stages) stages->featurize += seconds_since(t0);
       return Status(ErrorCode::kInvalidNet, net.name + ": " + e.what());
     } catch (const std::exception& e) {
@@ -416,8 +424,19 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     // Structural validity decides fallback eligibility below: the analytic
     // baseline needs a well-formed net just like the model does, so an
     // *injected* validation fault on a valid net still degrades gracefully.
-    const std::vector<std::string> errors = net.validate();
+    // With a cache attached, the net's content hash rides this same scan —
+    // hashing adds no extra traversal.
+    std::uint64_t net_hash = 0;
+    const std::vector<std::string> errors =
+        net.validate(options.cache ? &net_hash : nullptr);
     const bool structurally_valid = errors.empty();
+    // Caller-contract gate: loads must align one-to-one with net.sinks
+    // (features.hpp documents it; historically it was never checked here and
+    // a misaligned context slid into featurization). Rejected *before* the
+    // cache key is formed — a misaligned context content-addresses nothing —
+    // and before featurization, with no analytic fallback: timing the net
+    // under a wrong context would be a confidently wrong answer.
+    const bool context_valid = context.loads.size() == net.sinks.size();
 
     // Degradation ladder: the first rung that drops records why. Fault sites
     // are consulted in ladder order with short-circuiting, so a degraded net
@@ -431,18 +450,43 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
                        net.name + ": started past the batch deadline");
     } else if (!structurally_valid) {
       failure = Status(ErrorCode::kInvalidNet, net.name + ": " + errors.front());
+    } else if (!context_valid) {
+      failure = Status(ErrorCode::kInvalidArgument,
+                       net.name + ": context.loads has " +
+                           std::to_string(context.loads.size()) +
+                           " entries for " +
+                           std::to_string(net.sinks.size()) + " sinks");
     } else if (inject.armed() &&
                inject.should_fail(FaultSite::kValidate, net.name)) {
       failure = Status(ErrorCode::kInvalidNet,
                        net.name + ": injected validation fault");
     }
 
-    if (failure.ok()) {
+    // Content-addressed lookup before the model path: a hit returns the
+    // stored bytes of a prior model pass (bitwise identical values, tagged
+    // kCached) and skips featurize+forward entirely. Only formed after every
+    // gate above, so invalid/deadline nets never touch the cache.
+    bool cache_hit = false;
+    CacheKey cache_key;
+    if (failure.ok() && options.cache) {
+      cache_key =
+          EstimateCache::make_key(net_hash, features::content_hash(context));
+      if (options.cache->lookup(cache_key, &results[i])) {
+        cache_hit = true;
+        outcome.provenance = EstimateProvenance::kCached;
+      }
+    }
+
+    if (failure.ok() && !cache_hit) {
       auto model_result =
           run_model_path(net, context, &workspaces[worker], &stages);
       if (model_result) {
         results[i] = std::move(*model_result);
         outcome.provenance = EstimateProvenance::kModel;
+        // Memoize only full model results: a fallback or failure must re-run
+        // the ladder next time (the fault may be transient), and caching it
+        // would freeze a degraded answer for content the model can serve.
+        if (options.cache) options.cache->insert(cache_key, results[i]);
       } else {
         failure = model_result.status();
       }
@@ -452,7 +496,8 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
       outcome.error = failure.code();
       outcome.message = failure.message();
       bool fell_back = false;
-      if (options.fallback == FallbackPolicy::kAnalytic && structurally_valid) {
+      if (options.fallback == FallbackPolicy::kAnalytic && structurally_valid &&
+          context_valid) {
         const auto fb0 = Clock::now();
         try {
           results[i] = analytic_fallback(net, context);
@@ -504,7 +549,7 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
       telemetry::FlightRecord fr;
       fr.set_net(net.name);
       fr.set_outcome(to_string(outcome.provenance));
-      if (outcome.provenance != EstimateProvenance::kModel)
+      if (outcome.error != ErrorCode::kOk)
         fr.set_error(to_string(outcome.error));
       fr.featurize_us = static_cast<float>(stages.featurize * 1e6);
       fr.forward_us = static_cast<float>(stages.forward * 1e6);
@@ -513,7 +558,11 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
       fr.arena_peak_bytes = static_cast<std::uint32_t>(std::min<std::size_t>(
           workspaces[worker].arena_stats().peak_bytes, UINT32_MAX));
       fr.slow = outcome.slow ? 1 : 0;
-      fr.degraded = outcome.provenance != EstimateProvenance::kModel ? 1 : 0;
+      fr.degraded =
+          outcome.provenance == EstimateProvenance::kBaselineFallback ||
+                  outcome.provenance == EstimateProvenance::kFailed
+              ? 1
+              : 0;
       flight.record(fr);
     }
   };
@@ -524,16 +573,20 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
   }
 
   // Ladder tallies (single-threaded epilogue; outcomes are per-net slots).
+  // Identity preserved with the cache on: every net lands in exactly one of
+  // model/fallback/failed/cached, so the four always sum to the batch size.
   std::size_t model_nets = 0, fallback_nets = 0, failed_nets = 0,
-              slow_nets = 0;
+              cached_nets = 0, slow_nets = 0;
   std::array<std::size_t, kErrorCodeCount> degraded_by_reason{};
   for (const NetOutcome& o : outcomes) {
     switch (o.provenance) {
       case EstimateProvenance::kModel: ++model_nets; break;
       case EstimateProvenance::kBaselineFallback: ++fallback_nets; break;
       case EstimateProvenance::kFailed: ++failed_nets; break;
+      case EstimateProvenance::kCached: ++cached_nets; break;
     }
-    if (o.provenance != EstimateProvenance::kModel)
+    if (o.provenance == EstimateProvenance::kBaselineFallback ||
+        o.provenance == EstimateProvenance::kFailed)
       ++degraded_by_reason[static_cast<std::size_t>(o.error)];
     if (o.slow) ++slow_nets;
   }
@@ -602,6 +655,7 @@ std::vector<std::vector<PathEstimate>> WireTimingEstimator::estimate_batch(
     stats->model_nets = model_nets;
     stats->fallback_nets = fallback_nets;
     stats->failed_nets = failed_nets;
+    stats->cached_nets = cached_nets;
     stats->slow_nets = slow_nets;
     stats->degraded_by_reason = degraded_by_reason;
   }
@@ -681,6 +735,12 @@ void EstimatorWireSource::set_threads(std::size_t threads) {
   // their arenas instead of pinning the peak-size memory forever; growth
   // happens lazily inside estimate_batch.
   if (workspaces_.size() > threads_) workspaces_.resize(threads_);
+}
+
+EstimatorWireSource::~EstimatorWireSource() = default;
+
+void EstimatorWireSource::enable_cache(const EstimateCacheConfig& config) {
+  cache_ = std::make_unique<EstimateCache>(config);
 }
 
 void EstimatorWireSource::enable_autoscale(const AutoscalerConfig& config) {
@@ -776,6 +836,7 @@ std::vector<std::vector<sim::SinkTiming>> EstimatorWireSource::time_nets(
   options.threads = threads_;
   options.pool = threads_ > 1 ? pool_.get() : nullptr;
   options.workspaces = &workspaces_;
+  options.cache = cache_.get();  // content-addressed memo (enable_cache)
   std::vector<NetOutcome> outcomes;
   options.outcomes = &outcomes;
 

@@ -51,11 +51,18 @@
 
 namespace gnntrans::core {
 
+class EstimateCache;         // core/estimate_cache.hpp
+struct EstimateCacheConfig;  // core/estimate_cache.hpp
+
 /// Which rung of the degradation ladder produced an estimate.
 enum class EstimateProvenance : std::uint8_t {
   kModel = 0,             ///< learned model forward pass
   kBaselineFallback = 1,  ///< analytic Elmore/D2M baseline after a model fault
   kFailed = 2,            ///< no estimator applicable; values are zero
+  /// Served from the content-addressed estimate cache: the stored bytes of a
+  /// prior model pass over identical content — bitwise identical values,
+  /// featurize+forward skipped.
+  kCached = 3,
 };
 
 [[nodiscard]] constexpr const char* to_string(EstimateProvenance p) noexcept {
@@ -63,6 +70,7 @@ enum class EstimateProvenance : std::uint8_t {
     case EstimateProvenance::kModel: return "model";
     case EstimateProvenance::kBaselineFallback: return "baseline_fallback";
     case EstimateProvenance::kFailed: return "failed";
+    case EstimateProvenance::kCached: return "cached";
   }
   return "unknown";
 }
@@ -111,10 +119,12 @@ struct InferenceStats {
   std::size_t arena_reused_buffers = 0;  ///< acquisitions served by the arenas
   std::size_t arena_fresh_allocs = 0;    ///< acquisitions that hit the heap
 
-  // Degradation ladder counters (nets, not paths).
+  // Degradation ladder counters (nets, not paths). Closed-form identity:
+  //   model_nets + fallback_nets + failed_nets + cached_nets == nets.
   std::size_t model_nets = 0;     ///< served by the learned model
   std::size_t fallback_nets = 0;  ///< degraded to the analytic baseline
   std::size_t failed_nets = 0;    ///< no estimate possible (zeroed outputs)
+  std::size_t cached_nets = 0;    ///< served from the estimate cache
   std::size_t slow_nets = 0;      ///< exceeded the slow-query latency budget
   /// Non-failed sinks whose slew was raised to the 1e-12 NLDM floor on the
   /// way into STA — a nonzero count means the model emitted a degenerate
@@ -173,6 +183,13 @@ struct BatchOptions {
   /// InferenceStats::slow_nets and WARN-logged with its stage breakdown.
   /// 0 disables the slow-query log.
   double slow_net_warn_seconds = 0.0;
+  /// Optional content-addressed estimate cache (caller-owned, must outlive
+  /// the call; safe to share across concurrent batches). When set, each
+  /// structurally valid net is content-hashed during validation, looked up
+  /// before the model path, and model-served results are inserted after it.
+  /// Hits return the stored bytes re-tagged kCached; fallback/failed results
+  /// are never cached.
+  EstimateCache* cache = nullptr;
   /// When set, resized to the batch and filled with one outcome per net.
   std::vector<NetOutcome>* outcomes = nullptr;
   /// Optional per-item trace contexts (parallel to the batch; size must
@@ -313,6 +330,7 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
                       const netlist::Design& design,
                       const cell::CellLibrary& library,
                       std::size_t threads = 1);
+  ~EstimatorWireSource() override;
 
   /// Re-points this source at \p design and rebuilds the net-name -> net
   /// lookup behind context_for. ECO flows need this: IncrementalSta owns a
@@ -340,6 +358,17 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
     return autoscaler_.get();
   }
 
+  /// Attaches an owned content-addressed estimate cache used by every
+  /// subsequent time_nets batch. ECO flows get invalidation for free: an
+  /// edited net's parasitics hash to a new key, so only genuinely unchanged
+  /// cones hit. Replaces any previous cache (dropping its entries).
+  void enable_cache(const EstimateCacheConfig& config);
+
+  /// The attached cache, or nullptr when caching is off.
+  [[nodiscard]] const EstimateCache* cache() const noexcept {
+    return cache_.get();
+  }
+
   /// Current per-worker workspace count (grows with batches, trimmed on
   /// shrink — observability for the lockstep-resize invariant).
   [[nodiscard]] std::size_t workspace_count() const noexcept {
@@ -350,8 +379,8 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
   /// Degradation/deadline/slow-log knobs applied to every batched call.
-  /// The threads/pool/workspaces/outcomes fields of \p options are managed
-  /// by this source and ignored.
+  /// The threads/pool/workspaces/outcomes/cache fields of \p options are
+  /// managed by this source and ignored (caching is enable_cache's job).
   void set_serving_options(const BatchOptions& options) {
     serving_options_ = options;
   }
@@ -385,6 +414,7 @@ class EstimatorWireSource final : public netlist::WireTimingSource {
   std::unique_ptr<ThreadPool> pool_;        ///< created on first batched call
   std::vector<nn::Workspace> workspaces_;   ///< per-worker, reused per batch
   std::unique_ptr<PoolAutoscaler> autoscaler_;  ///< set by enable_autoscale
+  std::unique_ptr<EstimateCache> cache_;    ///< set by enable_cache
   BatchOptions serving_options_;            ///< degradation/deadline template
   InferenceStats stats_;
 };

@@ -37,10 +37,15 @@ enum class ErrorCode : std::uint8_t {
   kMalformedFrame = 9,  ///< length-prefixed frame failed protocol decode
   kShuttingDown = 10,   ///< server draining; no new requests admitted
   kTimeout = 11,        ///< client-side request timeout / retries exhausted
+  /// Caller-supplied arguments are inconsistent with the net itself (e.g.
+  /// NetContext::loads misaligned with net.sinks). Rejected before
+  /// featurization and before cache-key computation: a misaligned context
+  /// can neither be timed nor content-addressed.
+  kInvalidArgument = 12,
 };
 
 /// Number of distinct ErrorCode values (for per-reason counter arrays).
-inline constexpr std::size_t kErrorCodeCount = 12;
+inline constexpr std::size_t kErrorCodeCount = 13;
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
   switch (code) {
@@ -56,6 +61,7 @@ inline constexpr std::size_t kErrorCodeCount = 12;
     case ErrorCode::kMalformedFrame: return "malformed_frame";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
   }
   return "unknown";
 }

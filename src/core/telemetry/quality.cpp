@@ -338,6 +338,7 @@ void QualityMonitor::configure(const QualityConfig& config) {
   shadowed_nets_.store(0, std::memory_order_relaxed);
   shadowed_sinks_.store(0, std::memory_order_relaxed);
   overhead_ewma_pct_.store(0.0, std::memory_order_relaxed);
+  cost_batches_.store(0, std::memory_order_relaxed);
   shadow_seed_.store(config.shadow_seed, std::memory_order_relaxed);
   // Through the setter so the effective-rate gauge reflects the pinned rate
   // even when the overhead controller never runs (budget 0).
@@ -443,6 +444,16 @@ void QualityMonitor::observe_shadow_cost(double shadow_seconds,
                                          double batch_seconds) noexcept {
   if (!active_.load(std::memory_order_acquire)) return;
   if (!(batch_seconds > 0.0)) return;
+  // Warm-up guard (the trace sampler's PR-9 bug class): the first batches
+  // after configure() time one-off setup — residual-sketch and live-feature
+  // buffer first touch, cold allocator paths inside the shadow's feature
+  // re-extraction — so their measured cost is wildly unrepresentative of
+  // steady state. Seeding the EWMA with it throttled a fresh server's shadow
+  // rate to ~configured/64 before real evidence existed. Discard these
+  // observations entirely; the controller engages on warmed traffic.
+  if (cost_batches_.fetch_add(1, std::memory_order_relaxed) <
+      kShadowCostWarmupBatches)
+    return;
   const double pct =
       100.0 * std::max(shadow_seconds, 0.0) / batch_seconds;
   // Same EWMA shape as the trace sampler's budget controller.

@@ -224,7 +224,19 @@ class QualityMonitor {
   /// shadow_seconds self-timed shadow cost inside a batch that took \p
   /// batch_seconds. Updates the cost EWMA and moves the effective rate —
   /// between batches only, so within-batch sampling stays deterministic.
+  ///
+  /// The first kShadowCostWarmupBatches observations after configure() are
+  /// discarded: a fresh process's early shadow passes pay one-time setup
+  /// (residual-sketch first touch, feature-extraction allocations, cold
+  /// instruction caches), and seeding the EWMA with that inflated cost used
+  /// to throttle the shadow rate to ~configured/64 before any steady-state
+  /// evidence existed — the same probe-at-first-call bug the trace sampler's
+  /// budget controller had.
   void observe_shadow_cost(double shadow_seconds, double batch_seconds) noexcept;
+
+  /// Cost observations ignored after configure() before the EWMA/controller
+  /// engage (see observe_shadow_cost).
+  static constexpr std::uint64_t kShadowCostWarmupBatches = 8;
 
   /// Merges sketches, computes per-feature PSI + residual quantiles, updates
   /// the gnntrans_quality_* gauges, pins new drift crossings into the flight
@@ -261,6 +273,7 @@ class QualityMonitor {
   std::atomic<std::uint64_t> shadowed_nets_{0};
   std::atomic<std::uint64_t> shadowed_sinks_{0};
   std::atomic<double> overhead_ewma_pct_{0.0};
+  std::atomic<std::uint64_t> cost_batches_{0};  ///< observe_shadow_cost calls
 };
 
 }  // namespace gnntrans::telemetry

@@ -81,6 +81,13 @@ struct NetContext {
                                         const rcnet::RcNet& net,
                                         std::mt19937_64& rng);
 
+/// Canonical FNV-1a/splitmix hash of the full timing context: input slew,
+/// driver resistance/strength/function and every SinkLoad, doubles by raw bit
+/// pattern. Combined with RcNet::validate()'s content hash this forms the
+/// content-addressed estimate-cache key: any value that can change a
+/// PathEstimate changes the hash.
+[[nodiscard]] std::uint64_t content_hash(const NetContext& context) noexcept;
+
 /// Raw (unstandardized) feature matrices plus the analysis they came from.
 struct RawFeatures {
   std::vector<float> x;  ///< [node_count x kNodeFeatureCount], row-major

@@ -64,7 +64,18 @@ struct RcNet {
   [[nodiscard]] double total_resistance() const noexcept;
 
   /// Human-readable structural validation; empty vector means the net is valid.
-  [[nodiscard]] std::vector<std::string> validate() const;
+  ///
+  /// When \p content_hash is non-null, a canonical FNV-1a/splitmix hash of the
+  /// net's *content* — topology (node count, source, sinks, resistor
+  /// endpoints, coupling victims/seeds) and element values (resistances,
+  /// ground caps, coupling caps, hashed by raw double bit pattern) — is
+  /// folded in during the same scans validation already performs, so hashing
+  /// adds no extra pass. The name is deliberately excluded: two nets with
+  /// identical parasitics hash identically (content addressing), and any
+  /// element edit changes the hash. The hash is written even when validation
+  /// fails (it is meaningless then; callers gate on the error list).
+  [[nodiscard]] std::vector<std::string> validate(
+      std::uint64_t* content_hash = nullptr) const;
 };
 
 /// Neighbor entry in an adjacency list: the node at the far end of a resistor.

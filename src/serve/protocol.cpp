@@ -331,7 +331,7 @@ core::Status decode_response(std::string_view payload, ResponseFrame* out) {
   const std::uint8_t status = r.get_u8();
   const std::uint8_t provenance = r.get_u8();
   if (status >= core::kErrorCodeCount) return malformed("status out of range");
-  if (provenance > static_cast<std::uint8_t>(core::EstimateProvenance::kFailed))
+  if (provenance > static_cast<std::uint8_t>(core::EstimateProvenance::kCached))
     return malformed("provenance out of range");
   out->status = static_cast<core::ErrorCode>(status);
   out->provenance = static_cast<core::EstimateProvenance>(provenance);
@@ -344,7 +344,7 @@ core::Status decode_response(std::string_view payload, ResponseFrame* out) {
   for (core::PathEstimate& path : out->paths) {
     path.sink = r.get_u32();
     const std::uint8_t pp = r.get_u8();
-    if (pp > static_cast<std::uint8_t>(core::EstimateProvenance::kFailed))
+    if (pp > static_cast<std::uint8_t>(core::EstimateProvenance::kCached))
       return malformed("path provenance out of range");
     path.provenance = static_cast<core::EstimateProvenance>(pp);
     path.delay = r.get_f64();

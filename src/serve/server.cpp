@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/estimate_cache.hpp"
 #include "core/fault_injector.hpp"
 #include "core/telemetry/flight_recorder.hpp"
 #include "core/telemetry/log.hpp"
@@ -239,6 +240,11 @@ void NetServer::start() {
   workspaces_.resize(config_.threads);
   if (config_.enable_autoscale)
     autoscaler_ = std::make_unique<core::PoolAutoscaler>(config_.autoscale);
+  if (config_.cache_bytes > 0 && !cache_) {
+    core::EstimateCacheConfig cache_config;
+    cache_config.capacity_bytes = config_.cache_bytes;
+    cache_ = std::make_unique<core::EstimateCache>(cache_config);
+  }
 
   draining_.store(false, std::memory_order_release);
   closing_conns_.store(false, std::memory_order_release);
@@ -788,6 +794,7 @@ void NetServer::batch_loop() {
     core::BatchOptions options = config_.batch;
     options.pool = pool_.get();
     options.workspaces = &workspaces_;
+    options.cache = cache_.get();  // content-addressed memo (cache_bytes)
     options.traces = &traces;
     // The batch inherits the tightest per-request budget: estimate_batch's
     // deadline is relative to its own start, which is (to within triage

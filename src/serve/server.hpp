@@ -99,8 +99,14 @@ struct NetServerConfig {
   int write_timeout_ms = 5000;
 
   /// Degradation/slow-log template for every batch. threads/pool/workspaces/
-  /// outcomes/deadline_seconds are managed by the server and ignored here.
+  /// outcomes/deadline_seconds/cache are managed by the server and ignored
+  /// here (caching is cache_bytes's job).
   core::BatchOptions batch;
+  /// Byte budget of the server-owned content-addressed estimate cache; 0
+  /// disables caching. Repeat traffic (identical parasitics + context) is
+  /// served from stored model results — bitwise-identical values, tagged
+  /// kCached — without touching featurize/forward.
+  std::size_t cache_bytes = 0;
   /// Worker count of the server-owned inference pool (start value when
   /// autoscaling).
   std::size_t threads = 1;
@@ -168,6 +174,10 @@ class NetServer {
   }
   /// Aggregated inference stats over every batch served.
   [[nodiscard]] core::InferenceStats stats() const;
+  /// The server-owned estimate cache, or nullptr when cache_bytes == 0.
+  [[nodiscard]] const core::EstimateCache* cache() const noexcept {
+    return cache_.get();
+  }
   [[nodiscard]] const NetServerConfig& config() const noexcept {
     return config_;
   }
@@ -229,6 +239,7 @@ class NetServer {
   std::unique_ptr<core::ThreadPool> pool_;
   std::vector<nn::Workspace> workspaces_;
   std::unique_ptr<core::PoolAutoscaler> autoscaler_;
+  std::unique_ptr<core::EstimateCache> cache_;  ///< set when cache_bytes > 0
 
   mutable std::mutex stats_mutex_;
   core::InferenceStats stats_;

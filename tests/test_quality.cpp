@@ -436,6 +436,14 @@ TEST(QualityMonitor, OverheadControllerBacksOffAndRecovers) {
   monitor.configure(cfg);
   EXPECT_DOUBLE_EQ(monitor.effective_rate(), 0.5);
 
+  // Warm-up observations (one-time-setup costs in production) are discarded:
+  // even a pathological measured cost must not move the rate before the
+  // controller engages.
+  for (std::uint64_t i = 0; i < QualityMonitor::kShadowCostWarmupBatches; ++i) {
+    monitor.observe_shadow_cost(0.99, 1.0);
+    EXPECT_DOUBLE_EQ(monitor.effective_rate(), 0.5);
+  }
+
   // 10% measured overhead against a 1% budget: the rate must drop hard.
   monitor.observe_shadow_cost(0.10, 1.0);
   const double backed_off = monitor.effective_rate();
@@ -454,13 +462,51 @@ TEST(QualityMonitor, OverheadControllerBacksOffAndRecovers) {
   disarm_quality();
 }
 
+// Regression: observe_shadow_cost used to seed its EWMA with the very first
+// measured batch cost. In a fresh process that first batch pays one-time
+// setup (sketch/buffer first touch, cold allocator paths), so the seeded
+// EWMA was wildly inflated and the controller halved the shadow rate down
+// toward configured/64 before any representative traffic arrived — the same
+// probe-at-first-call pattern the trace sampler's budget controller had.
+// Warm-up observations must be discarded and configure() must re-arm the
+// warm-up window.
+TEST(QualityMonitor, FirstCostProbeDoesNotPoisonTheController) {
+  QualityMonitor& monitor = QualityMonitor::global();
+  QualityConfig cfg;
+  cfg.shadow_rate = 0.5;
+  cfg.overhead_budget_pct = 1.0;
+  monitor.configure(cfg);
+
+  // A fresh server's first batch: setup-inflated 95% measured cost. The old
+  // controller dropped the rate to 0.5 * (1/95) floored at /64 immediately.
+  monitor.observe_shadow_cost(0.95, 1.0);
+  EXPECT_DOUBLE_EQ(monitor.effective_rate(), 0.5);
+
+  // Steady-state traffic well inside the budget: rate stays pinned through
+  // and past the warm-up window.
+  for (std::uint64_t i = 0; i < QualityMonitor::kShadowCostWarmupBatches + 16;
+       ++i) {
+    monitor.observe_shadow_cost(0.005, 1.0);
+    EXPECT_DOUBLE_EQ(monitor.effective_rate(), 0.5);
+  }
+
+  // Reconfiguring re-arms the warm-up: the next "first batch" is again free.
+  monitor.configure(cfg);
+  monitor.observe_shadow_cost(0.95, 1.0);
+  EXPECT_DOUBLE_EQ(monitor.effective_rate(), 0.5);
+
+  disarm_quality();
+}
+
 TEST(QualityMonitor, ZeroBudgetPinsTheRate) {
   QualityMonitor& monitor = QualityMonitor::global();
   QualityConfig cfg;
   cfg.shadow_rate = 0.5;
   cfg.overhead_budget_pct = 0.0;  // controller disabled
   monitor.configure(cfg);
-  monitor.observe_shadow_cost(0.9, 1.0);  // 90% overhead, nobody cares
+  // Past warm-up and with 90% measured overhead — nobody cares, budget 0.
+  for (std::uint64_t i = 0; i <= QualityMonitor::kShadowCostWarmupBatches; ++i)
+    monitor.observe_shadow_cost(0.9, 1.0);
   EXPECT_DOUBLE_EQ(monitor.effective_rate(), 0.5);
   // The exported gauge must report the pinned rate even though the
   // controller never runs — configure() itself publishes it.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cell/library.hpp"
+#include "core/estimate_cache.hpp"
 #include "core/estimator.hpp"
 #include "core/fault_injector.hpp"
 #include "core/status.hpp"
@@ -178,6 +179,21 @@ bool paths_bitwise_equal(const std::vector<core::PathEstimate>& a,
     // Field-wise (struct padding is indeterminate); doubles as bit patterns
     // so -0.0 vs 0.0 or NaN payload differences still count as a diff.
     if (a[i].sink != b[i].sink || a[i].provenance != b[i].provenance ||
+        std::memcmp(&a[i].delay, &b[i].delay, sizeof(double)) != 0 ||
+        std::memcmp(&a[i].slew, &b[i].slew, sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+// Values-only variant for cache-enabled runs: a kCached response carries the
+// stored bytes of a prior model pass, so delay/slew/sink must match the
+// kModel reference bit for bit while the provenance tag legitimately differs.
+bool paths_values_bitwise_equal(const std::vector<core::PathEstimate>& a,
+                                const std::vector<core::PathEstimate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].sink != b[i].sink ||
         std::memcmp(&a[i].delay, &b[i].delay, sizeof(double)) != 0 ||
         std::memcmp(&a[i].slew, &b[i].slew, sizeof(double)) != 0)
       return false;
@@ -994,6 +1010,10 @@ TEST(NetServeSoak, SurvivesInjectedNetworkFaults) {
   scfg.batch_max = 32;
   scfg.flush_age_seconds = 1e-3;
   scfg.queue_capacity = 4096;
+  // Caching on: the soak's 10k requests cycle over 32 distinct nets, so the
+  // bulk of the traffic must be served from the content-addressed cache —
+  // with the exact same bitwise-identity guarantee as the model path.
+  scfg.cache_bytes = 32ull << 20;
   serve::NetServer server(shared_estimator(), scfg);
   server.start();
 
@@ -1006,7 +1026,8 @@ TEST(NetServeSoak, SurvivesInjectedNetworkFaults) {
     std::uint64_t transport_failures = 0;
     std::uint64_t attempts = 0;
     std::uint64_t mismatches = 0;     ///< served but not bitwise-identical
-    std::uint64_t bad_provenance = 0; ///< served but not pure-model
+    std::uint64_t bad_provenance = 0; ///< served but neither model nor cached
+    std::uint64_t cached = 0;         ///< served with kCached provenance
   };
   std::vector<Tally> tallies(kClients);
   std::vector<std::thread> clients;
@@ -1030,10 +1051,14 @@ TEST(NetServeSoak, SurvivesInjectedNetworkFaults) {
         tally.transport_failures += result.transport_failures;
         if (result.served()) {
           ++tally.served;
-          if (result.provenance != core::EstimateProvenance::kModel ||
+          const bool is_cached =
+              result.provenance == core::EstimateProvenance::kCached;
+          if (is_cached) ++tally.cached;
+          if ((result.provenance != core::EstimateProvenance::kModel &&
+               !is_cached) ||
               !result.status.ok())
             ++tally.bad_provenance;
-          if (!paths_bitwise_equal(result.paths, eval.reference[idx]))
+          if (!paths_values_bitwise_equal(result.paths, eval.reference[idx]))
             ++tally.mismatches;
         } else if (result.status.code() == ErrorCode::kTimeout) {
           ++tally.timeouts;
@@ -1056,6 +1081,7 @@ TEST(NetServeSoak, SurvivesInjectedNetworkFaults) {
     total.attempts += t.attempts;
     total.mismatches += t.mismatches;
     total.bad_provenance += t.bad_provenance;
+    total.cached += t.cached;
   }
   const serve::NetServerLedger& ledger = server.ledger();
   const std::uint64_t faults_accept = ledger.faults_accept.load();
@@ -1072,10 +1098,30 @@ TEST(NetServeSoak, SurvivesInjectedNetworkFaults) {
   EXPECT_EQ(total.typed_other, 0u);
   EXPECT_LT(total.timeouts, 10u);
 
-  // Served responses: pure model provenance, bitwise-identical to the direct
-  // estimate_batch reference.
+  // Served responses: model or cached provenance only, values
+  // bitwise-identical to the direct (uncached) estimate_batch reference — a
+  // cache hit must be indistinguishable from recomputation except for its
+  // tag.
   EXPECT_EQ(total.mismatches, 0u);
   EXPECT_EQ(total.bad_provenance, 0u);
+
+  // The cache did the heavy lifting (32 distinct nets under 10k requests),
+  // and its counters reconcile exactly with the inference stats: every net
+  // the batcher timed did exactly one lookup, every hit was served kCached,
+  // every miss ran the model. The four-way provenance identity holds.
+  const core::InferenceStats inference = server.stats();
+  ASSERT_NE(server.cache(), nullptr);
+  const core::EstimateCacheStats cstats = server.cache()->stats();
+  EXPECT_GT(total.cached, 0u);
+  EXPECT_GT(cstats.hits, cstats.misses);
+  EXPECT_EQ(cstats.hits + cstats.misses, inference.nets);
+  EXPECT_EQ(cstats.hits, inference.cached_nets);
+  EXPECT_EQ(cstats.misses, inference.model_nets);
+  EXPECT_EQ(inference.model_nets + inference.fallback_nets +
+                inference.failed_nets + inference.cached_nets,
+            inference.nets);
+  EXPECT_EQ(inference.fallback_nets, 0u);
+  EXPECT_EQ(inference.failed_nets, 0u);
 
   // The soak actually injected faults at a ~5% rate somewhere.
   EXPECT_GT(faults_accept + faults_read + faults_write + faults_decode, 100u);

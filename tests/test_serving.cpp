@@ -362,6 +362,67 @@ TEST_F(ServingTest, FailedNetsReachStaUnsettledWithWarn) {
   EXPECT_EQ(source.stats().slew_clamped, 0u);
 }
 
+TEST_F(ServingTest, MisalignedContextLoadsAreTypedRejects) {
+  // A context whose loads vector disagrees with the sink list is a caller
+  // contract violation, not a model fault: typed kInvalidArgument, provenance
+  // kFailed (zeroed per-sink outputs), and *no* analytic fallback — the
+  // fallback would need the same per-sink loads the caller failed to supply.
+  // Gated before featurization, so extract_features never sees the mismatch.
+  features::NetContext short_ctx = contexts_[0];
+  ASSERT_FALSE(short_ctx.loads.empty());
+  short_ctx.loads.pop_back();
+
+  features::NetContext long_ctx = contexts_[1];
+  long_ctx.loads.push_back(long_ctx.loads.front());
+
+  features::NetContext empty_ctx = contexts_[2];
+  empty_ctx.loads.clear();
+  ASSERT_FALSE(nets_[2].sinks.empty());
+
+  const std::vector<core::NetBatchItem> bad = {
+      {&nets_[0], &short_ctx}, {&nets_[1], &long_ctx}, {&nets_[2], &empty_ctx}};
+
+  std::vector<core::NetOutcome> outcomes;
+  core::BatchOptions opts;
+  opts.threads = 1;
+  opts.outcomes = &outcomes;  // default fallback policy: kAnalytic
+  core::InferenceStats stats;
+  const auto results = estimator_->estimate_batch(bad, opts, &stats);
+
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(outcomes[i].error, core::ErrorCode::kInvalidArgument) << i;
+    EXPECT_EQ(outcomes[i].provenance, core::EstimateProvenance::kFailed) << i;
+    EXPECT_NE(outcomes[i].message.find("context.loads"), std::string::npos)
+        << outcomes[i].message;
+    // The ladder bottom still yields one (zeroed) estimate per sink.
+    ASSERT_EQ(results[i].size(), bad[i].net->sinks.size()) << i;
+    for (const auto& pe : results[i]) {
+      EXPECT_EQ(pe.provenance, core::EstimateProvenance::kFailed);
+      EXPECT_DOUBLE_EQ(pe.slew, 0.0);
+      EXPECT_DOUBLE_EQ(pe.delay, 0.0);
+    }
+  }
+  EXPECT_EQ(stats.failed_nets, 3u);
+  EXPECT_EQ(stats.fallback_nets, 0u);
+  EXPECT_EQ(stats.model_nets + stats.fallback_nets + stats.failed_nets +
+                stats.cached_nets,
+            stats.nets);
+  EXPECT_EQ(
+      stats.degraded_by_reason[static_cast<std::size_t>(
+          core::ErrorCode::kInvalidArgument)],
+      3u);
+
+  // An aligned context on the same nets still serves from the model: the
+  // gate keys on the (net, context) pair, not the net.
+  const std::vector<core::NetBatchItem> good = {{&nets_[0], &contexts_[0]}};
+  const auto ok = estimator_->estimate_batch(good, opts);
+  EXPECT_EQ(outcomes[0].provenance, core::EstimateProvenance::kModel);
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_EQ(ok[0].size(), nets_[0].sinks.size());
+}
+
 TEST_F(ServingTest, StaBatchedEstimatorIsThreadInvariant) {
   netlist::DesignGenConfig cfg;
   cfg.seed = 5;

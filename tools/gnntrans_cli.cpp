@@ -63,6 +63,12 @@
 //                       results stay bitwise-identical to any pinned count)
 //   --min-threads N     autoscaler floor (default 1)
 //   --max-threads N     autoscaler ceiling (default 0 = hardware threads)
+//   --cache-mb N        byte budget (MiB) of the content-addressed estimate
+//                       cache; identical (parasitics, context) pairs are
+//                       served from stored model results, bitwise-identical
+//                       values tagged "cached" (default 64; 0 disables).
+//                       Also applies to serve.
+//   --cache-off on      disable the estimate cache (same as --cache-mb 0)
 //
 // Model-quality flags (predict, sta/eco with --model):
 //   --shadow-rate R     shadow-score fraction R of model-served nets against
@@ -121,6 +127,7 @@
 
 #include "cell/liberty.hpp"
 #include "core/autoscaler.hpp"
+#include "core/estimate_cache.hpp"
 #include "core/estimator.hpp"
 #include "core/fault_injector.hpp"
 #include "core/metrics.hpp"
@@ -427,6 +434,42 @@ std::optional<core::AutoscalerConfig> autoscale_config_from(const Args& args) {
   return cfg;
 }
 
+/// Reads --cache-mb / --cache-off. The content-addressed estimate cache is on
+/// by default (64 MiB) for every model-serving subcommand; nullopt means
+/// caching is disabled. Exits 1 on a malformed --cache-off value.
+std::optional<core::EstimateCacheConfig> cache_config_from(const Args& args) {
+  const std::string off = args.get("cache-off").value_or("off");
+  const bool disabled = off == "on" || off == "1" || off == "true";
+  if (!disabled && off != "off" && off != "0" && off != "false") {
+    GNNTRANS_LOG_ERROR("cli", "unknown --cache-off '%s' (on|off)", off.c_str());
+    std::exit(1);
+  }
+  const long mb = args.get_long("cache-mb", 64);
+  if (disabled || mb <= 0) {
+    if (disabled && args.get("cache-mb"))
+      GNNTRANS_LOG_WARN("cli", "--cache-mb has no effect with --cache-off on");
+    return std::nullopt;
+  }
+  core::EstimateCacheConfig cfg;
+  cfg.capacity_bytes = static_cast<std::size_t>(mb) << 20;
+  return cfg;
+}
+
+/// One summary line of cache effectiveness after a run (hit rate is the
+/// headline; evictions reveal an undersized --cache-mb).
+void log_cache_stats(const core::EstimateCache& cache) {
+  const core::EstimateCacheStats s = cache.stats();
+  GNNTRANS_LOG_INFO(
+      "serving",
+      "estimate cache: %.1f%% hit rate (%llu hits, %llu misses), %llu "
+      "entries / %.1f MiB resident, %llu evictions",
+      100.0 * s.hit_rate(), static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses),
+      static_cast<unsigned long long>(s.entries),
+      static_cast<double>(s.resident_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(s.evictions));
+}
+
 int cmd_predict(const Args& args) {
   const auto library = cell::CellLibrary::make_default();
   const auto estimator = load_model_file(args.require("model"));
@@ -459,6 +502,11 @@ int cmd_predict(const Args& args) {
   options.threads = threads;
   options.workspaces = &workspaces;
   apply_serving_flags(args, options);
+  std::unique_ptr<core::EstimateCache> cache;
+  if (const auto ccfg = cache_config_from(args)) {
+    cache = std::make_unique<core::EstimateCache>(*ccfg);
+    options.cache = cache.get();
+  }
   core::InferenceStats total;
 
   std::printf("%-16s %-6s %12s %12s  %s\n", "net", "sink", "delay(ps)",
@@ -491,6 +539,7 @@ int cmd_predict(const Args& args) {
                     pe.slew * 1e12, core::to_string(pe.provenance));
   }
   GNNTRANS_LOG_INFO("serving", "%s", total.summary().c_str());
+  if (cache) log_cache_stats(*cache);
   return 0;
 }
 
@@ -530,9 +579,11 @@ int cmd_sta(const Args& args) {
     source.set_serving_options(serving);
     if (const auto acfg = autoscale_config_from(args))
       source.enable_autoscale(*acfg);
+    if (const auto ccfg = cache_config_from(args)) source.enable_cache(*ccfg);
     sta = netlist::run_sta(parsed.design, library, source);
     source_name = source.name();
     GNNTRANS_LOG_INFO("serving", "%s", source.stats().summary().c_str());
+    if (source.cache()) log_cache_stats(*source.cache());
   } else {
     netlist::GoldenWireSource source{sim::TransientConfig{}};
     sta = netlist::run_sta(parsed.design, library, source);
@@ -578,6 +629,8 @@ int cmd_serve(const Args& args) {
   // The batch deadline is owned by the server: each request carries its own
   // budget on the wire and the batcher propagates the tightest one.
   cfg.batch.deadline_seconds = 0.0;
+  if (const auto ccfg = cache_config_from(args))
+    cfg.cache_bytes = ccfg->capacity_bytes;
   if (const auto acfg = autoscale_config_from(args)) {
     cfg.enable_autoscale = true;
     cfg.autoscale = *acfg;
@@ -636,6 +689,7 @@ int cmd_serve(const Args& args) {
       static_cast<unsigned long long>(ledger.rejected_shutdown.load()),
       static_cast<unsigned long long>(ledger.batches.load()));
   GNNTRANS_LOG_INFO("serving", "%s", stats.summary().c_str());
+  if (server.cache()) log_cache_stats(*server.cache());
   return 0;
 }
 
@@ -687,6 +741,9 @@ int cmd_eco(const Args& args) {
     core::BatchOptions serving;
     apply_serving_flags(args, serving);
     src->set_serving_options(serving);
+    // ECO + caching compose for free: content addressing means an edit's
+    // retimes miss (new parasitic bytes, new key) while untouched nets hit.
+    if (const auto ccfg = cache_config_from(args)) src->enable_cache(*ccfg);
     estimator_source = src.get();
     source = std::move(src);
   } else {
@@ -790,6 +847,8 @@ int cmd_eco(const Args& args) {
   if (verify)
     std::printf("verification: %ld/%ld edits bitwise-equal to full run_sta\n",
                 edits - static_cast<long>(mismatches), edits);
+  if (estimator_source && estimator_source->cache())
+    log_cache_stats(*estimator_source->cache());
 
   const long report_paths = args.get_long("paths", 0);
   if (report_paths > 0) {
